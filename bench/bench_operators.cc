@@ -1,0 +1,147 @@
+// Operator micro-benchmarks (google-benchmark): the cost of the building
+// blocks the end-to-end numbers are made of — aggregate-function
+// combination, prefer evaluation, p-relation joins, score-relation upkeep
+// and the filtering operators.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "expr/expr_builder.h"
+#include "palgebra/filters.h"
+#include "palgebra/p_ops.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+
+PRelation MakeScoredRelation(size_t n, double scored_fraction, uint64_t seed) {
+  Rng rng(seed);
+  Relation rel(Schema({{"R", "id", ValueType::kInt},
+                       {"R", "a", ValueType::kInt},
+                       {"R", "b", ValueType::kDouble}}));
+  rel.set_key_columns({0});
+  rel.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    rel.AddRow({Value::Int(static_cast<int64_t>(i)),
+                Value::Int(rng.Uniform(0, 1000)),
+                Value::Double(rng.UniformReal(0.0, 1.0))});
+  }
+  PRelation p(std::move(rel));
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(scored_fraction)) {
+      p.scores.Set({Value::Int(static_cast<int64_t>(i))},
+                   ScoreConf::Known(rng.UniformReal(0.0, 1.0),
+                                    rng.UniformReal(0.1, 1.0)));
+    }
+  }
+  return p;
+}
+
+void BM_AggregateCombine(benchmark::State& state) {
+  auto agg = GetAggregateFunction(state.range(0) == 0 ? "wsum" : "maxconf");
+  ScoreConf a = ScoreConf::Known(0.8, 0.9);
+  ScoreConf b = ScoreConf::Known(0.4, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*agg)->Combine(a, b));
+  }
+}
+BENCHMARK(BM_AggregateCombine)->Arg(0)->Arg(1);
+
+void BM_PreferEvaluation(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PRelation input = MakeScoredRelation(n, 0.3, 42);
+  PreferencePtr pref = Preference::Generic(
+      "p", "R", Le(Col("a"), Lit(int64_t{500})),
+      ScoringFunction(Col("b")), 0.8);
+  FSum agg;
+  ExecStats stats;
+  for (auto _ : state) {
+    auto result = EvalPrefer(*pref, input, agg, nullptr, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PreferEvaluation)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_PreferSelectivity(benchmark::State& state) {
+  // Fixed input size, varying conditional selectivity (per mille).
+  size_t n = 50000;
+  PRelation input = MakeScoredRelation(n, 0.0, 42);
+  int64_t threshold = state.range(0);
+  PreferencePtr pref = Preference::Generic(
+      "p", "R", Le(Col("a"), Lit(threshold)), ScoringFunction::Constant(0.5),
+      0.8);
+  FSum agg;
+  ExecStats stats;
+  for (auto _ : state) {
+    auto result = EvalPrefer(*pref, input, agg, nullptr, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_PreferSelectivity)->Arg(10)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_PJoin(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PRelation left = MakeScoredRelation(n, 0.3, 1);
+  // Right side: fk into left, own key offset to avoid collisions.
+  Rng rng(2);
+  Relation rel(Schema({{"S", "sid", ValueType::kInt},
+                       {"S", "rid", ValueType::kInt}}));
+  rel.set_key_columns({0});
+  for (size_t i = 0; i < n; ++i) {
+    rel.AddRow({Value::Int(static_cast<int64_t>(i)),
+                Value::Int(rng.Uniform(0, static_cast<int64_t>(n) - 1))});
+  }
+  PRelation right(std::move(rel));
+  ExprPtr cond = Eq(Col("R.id"), Col("S.rid"));
+  FSum agg;
+  ExecStats stats;
+  for (auto _ : state) {
+    auto result = PJoin(*cond, left, right, agg, &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_PJoin)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_ScoreRelationLookup(benchmark::State& state) {
+  PRelation input = MakeScoredRelation(100000, 0.5, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    Tuple key{Value::Int(static_cast<int64_t>(i++ % 100000))};
+    benchmark::DoNotOptimize(input.scores.Lookup(key));
+  }
+}
+BENCHMARK(BM_ScoreRelationLookup);
+
+void BM_TopKFilter(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PRelation input = MakeScoredRelation(n, 0.5, 11);
+  Relation scored = ToScoredRelation(input);
+  FilterSpec spec = FilterSpec::TopK(10);
+  for (auto _ : state) {
+    auto result = ApplyFilter(scored, spec);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_TopKFilter)->Arg(10000)->Arg(100000);
+
+void BM_SkylineFilter(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  PRelation input = MakeScoredRelation(n, 0.5, 13);
+  Relation scored = ToScoredRelation(input);
+  FilterSpec spec = FilterSpec::NotDominated();
+  for (auto _ : state) {
+    auto result = ApplyFilter(scored, spec);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_SkylineFilter)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace prefdb
+
+BENCHMARK_MAIN();

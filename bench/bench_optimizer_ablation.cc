@@ -1,0 +1,134 @@
+// Fig. 14 [reconstructed]: ablation of the preference-aware optimizer's
+// heuristic rules (paper §VI-A) on the BU and GBU strategies, plus the
+// BU-vs-GBU comparison the paper alludes to ("we have excluded BU ... as
+// GBU is an improved method over BU"). The instrumented metric is the one
+// the paper's cost argument is about: tuples materialized in intermediate
+// relations, next to wall time.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "datagen/imdb_gen.h"
+#include "workload/workload.h"
+
+namespace prefdb {
+namespace bench {
+namespace {
+
+struct Variant {
+  const char* label;
+  StrategyKind strategy;
+  bool optimize;
+  ExtendedOptimizerOptions options;
+};
+
+std::vector<Variant> Variants() {
+  ExtendedOptimizerOptions all;
+  ExtendedOptimizerOptions none = ExtendedOptimizerOptions::AllDisabled();
+
+  auto without = [](void (*clear)(ExtendedOptimizerOptions*)) {
+    ExtendedOptimizerOptions opts;
+    clear(&opts);
+    return opts;
+  };
+
+  return {
+      {"BU unoptimized", StrategyKind::kBU, false, none},
+      {"BU optimized", StrategyKind::kBU, true, all},
+      {"GBU unoptimized", StrategyKind::kGBU, false, none},
+      {"GBU optimized", StrategyKind::kGBU, true, all},
+      {"GBU w/o rule1 (sel push)", StrategyKind::kGBU, true,
+       without([](ExtendedOptimizerOptions* o) { o->push_selections = false; })},
+      {"GBU w/o rule2 (proj push)", StrategyKind::kGBU, true,
+       without([](ExtendedOptimizerOptions* o) { o->push_projections = false; })},
+      {"GBU w/o rule3+4 (pref push)", StrategyKind::kGBU, true,
+       without([](ExtendedOptimizerOptions* o) {
+         o->push_prefer = false;
+         o->push_prefer_over_binary = false;
+       })},
+      {"GBU w/o rule5 (pref order)", StrategyKind::kGBU, true,
+       without([](ExtendedOptimizerOptions* o) { o->reorder_prefers = false; })},
+      {"GBU w/o native order", StrategyKind::kGBU, true,
+       without([](ExtendedOptimizerOptions* o) {
+         o->match_native_join_order = false;
+       })},
+      {"GBU cost-based placement", StrategyKind::kGBU, true,
+       without([](ExtendedOptimizerOptions* o) {
+         o->cost_based_prefer_placement = true;
+       })},
+  };
+}
+
+int Main() {
+  BenchEnv env = GetBenchEnv();
+  std::printf(
+      "prefdb :: Fig. 14 [reconstructed]: optimizer-rule ablation "
+      "(IMDB-2-like query, SF=%.4g)\n\n",
+      env.sf);
+
+  ImdbOptions options;
+  options.scale = env.sf;
+  auto catalog = GenerateImdb(options);
+  if (!catalog.ok()) {
+    std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  Session session(std::move(*catalog));
+
+  // Two regimes. (a) Favourable: the join *expands* (one movie, many cast
+  // rows) and the hard selection is on the preference's relation — pushing
+  // the prefer below the join (rules 3+4) scores far fewer tuples.
+  const std::string expanding =
+      "SELECT title, role FROM MOVIES "
+      "JOIN CAST ON MOVIES.m_id = CAST.m_id "
+      "WHERE year >= 2005 "
+      "PREFERRING "
+      "  (year >= 2008) SCORE recency(year, 2011) CONF 0.9, "
+      "  (duration BETWEEN 90 AND 150) SCORE around(duration, 120) CONF 0.5 "
+      "RANKED";
+  // (b) Adversarial: IMDB-2's joins are *reductive* (RATINGS covers a fifth
+  // of the movies), so evaluating preferences on base relations touches
+  // more tuples than evaluating them after the join — the paper's
+  // heuristics are heuristics, and this is where they pay a price.
+  const std::string reductive = ImdbWorkload()[1].sql;
+
+  struct NamedQuery {
+    const char* label;
+    const std::string* sql;
+  };
+  const NamedQuery queries[] = {
+      {"(a) expanding join, prefs on filtered relation", &expanding},
+      {"(b) reductive join (IMDB-2)", &reductive},
+  };
+  for (const NamedQuery& q : queries) {
+    std::printf("\n%s:\n", q.label);
+    PrintTableHeader({"variant", "time ms", "materialized", "score entries",
+                      "engine Q"});
+    for (const Variant& variant : Variants()) {
+      QueryOptions query_options;
+      query_options.strategy = variant.strategy;
+      query_options.optimize = variant.optimize;
+      query_options.optimizer = variant.options;
+      Measurement m = MeasureQuery(&session, *q.sql, query_options,
+                                   env.repetitions);
+      PrintTableRow({variant.label, FormatMillis(m.millis),
+                     FormatCount(m.stats.tuples_materialized),
+                     FormatCount(m.stats.score_entries_written),
+                     FormatCount(m.stats.engine_queries)});
+    }
+  }
+  std::printf(
+      "\nExpected shape: GBU beats BU everywhere (operator grouping). On "
+      "(a) the optimizer's\nprefer-pushdown shrinks materialized tuples and "
+      "score entries; on (b) pushdown\nevaluates preferences on unfiltered "
+      "base relations and can cost more than it saves\n— the rules are "
+      "heuristics (paper Section VI-A).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace prefdb
+
+int main() { return prefdb::bench::Main(); }

@@ -1,0 +1,65 @@
+// Fig. 12 [reconstructed]: scalability — total query processing time of the
+// IMDB-1 workload query as the dataset scale factor grows. All strategies
+// scale roughly linearly in the data size at fixed selectivities; the
+// ordering between strategies is stable across scales.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "datagen/imdb_gen.h"
+#include "workload/workload.h"
+
+namespace prefdb {
+namespace bench {
+namespace {
+
+int Main() {
+  BenchEnv env = GetBenchEnv();
+  std::printf(
+      "prefdb :: Fig. 12 [reconstructed]: scalability with dataset size "
+      "(IMDB-1; base SF=%.4g)\n\n",
+      env.sf);
+
+  const std::string sql = ImdbWorkload()[0].sql;
+
+  std::vector<std::string> header = {"scale (movies)"};
+  for (StrategyKind kind : EvaluationStrategies()) {
+    header.push_back(std::string(StrategyKindName(kind)) + " ms");
+  }
+  PrintTableHeader(header);
+
+  for (double multiplier : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+    ImdbOptions options;
+    options.scale = env.sf * multiplier;
+    auto catalog = GenerateImdb(options);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+      return 1;
+    }
+    Session session(std::move(*catalog));
+    size_t movies = (*session.engine().catalog().GetTable("MOVIES"))->NumRows();
+
+    std::vector<std::string> row = {
+        StrFormat("%.2fx (%zu)", multiplier, movies)};
+    for (StrategyKind kind : EvaluationStrategies()) {
+      QueryOptions query_options;
+      query_options.strategy = kind;
+      Measurement m = MeasureQuery(&session, sql, query_options,
+                                   env.repetitions);
+      row.push_back(FormatMillis(m.millis));
+    }
+    PrintTableRow(row);
+  }
+  std::printf(
+      "\nExpected shape: near-linear growth for every strategy; the "
+      "strategy ordering (hybrids ahead of plug-ins) holds at every "
+      "scale.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace prefdb
+
+int main() { return prefdb::bench::Main(); }

@@ -1,0 +1,128 @@
+// Table I and Table II of the paper: generated dataset sizes (against the
+// original sizes) and the measured properties of the evaluation workload
+// (result size N, joined relations |R|, preferences |λ|, relations with /
+// without preferences P/NP).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "datagen/dblp_gen.h"
+#include "datagen/imdb_gen.h"
+#include "parser/parser.h"
+#include "workload/workload.h"
+
+namespace prefdb {
+namespace bench {
+namespace {
+
+struct PaperSize {
+  const char* table;
+  size_t rows;
+};
+
+// Table I of the paper (the IMDB snapshot of March 2010 and the DBLP
+// extraction of June 2011).
+constexpr PaperSize kImdbPaper[] = {
+    {"MOVIES", 1573401},  {"DIRECTORS", 191686}, {"GENRES", 997500},
+    {"CAST", 13145520},   {"RATINGS", 318374},
+};
+constexpr PaperSize kDblpPaper[] = {
+    {"PUBLICATIONS", 2659337}, {"AUTHORS", 977494},  {"PUB_AUTHORS", 5394948},
+    {"CONFERENCES", 956888},   {"JOURNALS", 689160},
+};
+
+void PrintSizes(const char* dataset, Catalog* catalog, const PaperSize* paper,
+                size_t n_paper, double sf) {
+  std::printf("\nTable I (%s, SF=%.4g):\n", dataset, sf);
+  PrintTableHeader({"table", "generated rows", "paper rows", "paper x SF"});
+  for (size_t i = 0; i < n_paper; ++i) {
+    auto table = catalog->GetTable(paper[i].table);
+    size_t generated = table.ok() ? (*table)->NumRows() : 0;
+    PrintTableRow({paper[i].table, FormatCount(generated),
+                   FormatCount(paper[i].rows),
+                   StrFormat("%.0f", paper[i].rows * sf)});
+  }
+  // Tables the paper's Table I cut off (present in the schema figures).
+  for (const std::string& name : catalog->TableNames()) {
+    bool in_paper = false;
+    for (size_t i = 0; i < n_paper; ++i) {
+      if (name == paper[i].table) in_paper = true;
+    }
+    if (!in_paper) {
+      PrintTableRow({name.c_str(),
+                     FormatCount((*catalog->GetTable(name))->NumRows()), "-",
+                     "-"});
+    }
+  }
+}
+
+void PrintWorkload(const char* dataset, Session* session,
+                   const std::vector<WorkloadQuery>& workload, int reps) {
+  std::printf("\nTable II (%s workload, measured):\n", dataset);
+  PrintTableHeader({"query", "N", "|R|", "|lambda|", "P/NP", "time(ms)"});
+  for (const WorkloadQuery& q : workload) {
+    auto parsed = ParseQuery(q.sql, session->engine().catalog());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.name.c_str(),
+                   parsed.status().ToString().c_str());
+      std::exit(1);
+    }
+    size_t n_relations = parsed->plan->CountKind(PlanKind::kScan);
+    size_t n_prefs = parsed->preferences.size();
+    // P = relations targeted by at least one preference; NP = the rest.
+    std::vector<std::string> preferred;
+    for (const PreferencePtr& pref : parsed->preferences) {
+      for (const std::string& rel : pref->relations()) {
+        bool seen = false;
+        for (const std::string& p : preferred) {
+          if (EqualsIgnoreCase(p, rel)) seen = true;
+        }
+        if (!seen) preferred.push_back(rel);
+      }
+    }
+    size_t p = std::min(preferred.size(), n_relations);
+    Measurement m = MeasureQuery(session, q.sql, QueryOptions(), reps);
+    PrintTableRow({q.name, FormatCount(m.result_rows),
+                   FormatCount(n_relations), FormatCount(n_prefs),
+                   StrFormat("%zu/%zu", p, n_relations - p),
+                   FormatMillis(m.millis)});
+  }
+}
+
+int Main() {
+  BenchEnv env = GetBenchEnv();
+  std::printf("prefdb :: Tables I and II (dataset sizes and workload)\n");
+
+  ImdbOptions imdb_options;
+  imdb_options.scale = env.sf;
+  auto imdb = GenerateImdb(imdb_options);
+  if (!imdb.ok()) {
+    std::fprintf(stderr, "%s\n", imdb.status().ToString().c_str());
+    return 1;
+  }
+  Session imdb_session(std::move(*imdb));
+  PrintSizes("IMDB", imdb_session.engine().mutable_catalog(), kImdbPaper,
+             std::size(kImdbPaper), env.sf);
+
+  DblpOptions dblp_options;
+  dblp_options.scale = env.sf;
+  auto dblp = GenerateDblp(dblp_options);
+  if (!dblp.ok()) {
+    std::fprintf(stderr, "%s\n", dblp.status().ToString().c_str());
+    return 1;
+  }
+  Session dblp_session(std::move(*dblp));
+  PrintSizes("DBLP", dblp_session.engine().mutable_catalog(), kDblpPaper,
+             std::size(kDblpPaper), env.sf);
+
+  PrintWorkload("IMDB", &imdb_session, ImdbWorkload(), env.repetitions);
+  PrintWorkload("DBLP", &dblp_session, DblpWorkload(), env.repetitions);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace prefdb
+
+int main() { return prefdb::bench::Main(); }

@@ -1,0 +1,52 @@
+#ifndef PREFDB_BENCH_BENCH_UTIL_H_
+#define PREFDB_BENCH_BENCH_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/runner.h"
+
+namespace prefdb {
+namespace bench {
+
+/// Benchmark environment, configurable without rebuilding:
+///   PREFDB_BENCH_SF    — dataset scale factor relative to the paper's
+///                        Table I sizes (default 0.01 ≈ 15.7k movies).
+///   PREFDB_BENCH_REPS  — repetitions per measurement; the median is
+///                        reported (default 3).
+struct BenchEnv {
+  double sf = 0.01;
+  int repetitions = 3;
+};
+
+/// Reads the environment variables above.
+BenchEnv GetBenchEnv();
+
+/// One measured query execution.
+struct Measurement {
+  double millis = 0.0;  // Median over repetitions.
+  ExecStats stats;      // Stats of the median run.
+  size_t result_rows = 0;
+};
+
+/// Runs `sql` `repetitions` times under `options` and reports the median
+/// wall time. Aborts the process with a message on error (benchmarks have
+/// no meaningful recovery).
+Measurement MeasureQuery(Session* session, const std::string& sql,
+                         const QueryOptions& options, int repetitions);
+
+/// The standard strategy lineup of the evaluation section.
+std::vector<StrategyKind> EvaluationStrategies();
+
+/// printf a row of right-aligned columns. `header` prints a rule under it.
+void PrintTableHeader(const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& columns);
+
+/// Formats helpers.
+std::string FormatMillis(double ms);
+std::string FormatCount(size_t n);
+
+}  // namespace bench
+}  // namespace prefdb
+
+#endif  // PREFDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,134 @@
+// Interactive PrefSQL shell over a generated IMDB database. Type queries
+// with PREFERRING clauses and see scored, filtered answers — plus the
+// optimized extended plan and execution statistics.
+//
+//   $ ./prefsql_repl [scale]
+//   prefsql> SELECT title FROM MOVIES
+//            PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9
+//            TOP 5 BY SCORE
+//   prefsql> \strategy ftp     -- switch execution strategy
+//   prefsql> \tables           -- list tables
+//   prefsql> \quit
+//
+// Statements may span lines; an empty line (or ';') submits.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "datagen/imdb_gen.h"
+#include "exec/runner.h"
+
+using namespace prefdb;  // NOLINT: example code.
+
+namespace {
+
+bool HandleCommand(const std::string& line, Session* session,
+                   QueryOptions* options, bool* done) {
+  if (line == "\\quit" || line == "\\q") {
+    *done = true;
+    return true;
+  }
+  if (line == "\\tables") {
+    for (const auto& name : session->engine().catalog().TableNames()) {
+      std::printf("  %-12s %8zu rows   %s\n", name.c_str(),
+                  (*session->engine().catalog().GetTable(name))->NumRows(),
+                  (*session->engine().catalog().GetTable(name))
+                      ->schema()
+                      .ToString()
+                      .c_str());
+    }
+    return true;
+  }
+  if (StartsWith(line, "\\strategy")) {
+    std::string which = ToLower(std::string(StripWhitespace(line.substr(9))));
+    if (which == "ftp") {
+      options->strategy = StrategyKind::kFtP;
+    } else if (which == "bu") {
+      options->strategy = StrategyKind::kBU;
+    } else if (which == "gbu") {
+      options->strategy = StrategyKind::kGBU;
+    } else if (which == "pluginbasic") {
+      options->strategy = StrategyKind::kPlugInBasic;
+    } else if (which == "plugincombined") {
+      options->strategy = StrategyKind::kPlugInCombined;
+    } else {
+      std::printf("unknown strategy '%s' (ftp|bu|gbu|pluginbasic|plugincombined)\n",
+                  which.c_str());
+      return true;
+    }
+    std::printf("strategy: %s\n",
+                std::string(StrategyKindName(options->strategy)).c_str());
+    return true;
+  }
+  if (line == "\\plan") {
+    std::printf("the optimized plan is printed after each query\n");
+    return true;
+  }
+  if (line == "\\help" || line == "\\h") {
+    std::printf(
+        "  \\tables             list tables and schemas\n"
+        "  \\strategy <name>    ftp | bu | gbu | pluginbasic | plugincombined\n"
+        "  \\quit               exit\n"
+        "  <PrefSQL>           submit with an empty line or ';'\n");
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ImdbOptions gen;
+  gen.scale = argc > 1 ? std::atof(argv[1]) : 0.003;
+  if (gen.scale <= 0) gen.scale = 0.003;
+  auto catalog = GenerateImdb(gen);
+  if (!catalog.ok()) {
+    std::printf("datagen failed: %s\n", catalog.status().ToString().c_str());
+    return 1;
+  }
+  Session session(std::move(*catalog));
+  QueryOptions options;
+
+  std::printf(
+      "prefdb PrefSQL shell — IMDB-style database at SF=%.4g "
+      "(\\help for commands)\n",
+      gen.scale);
+
+  std::string buffer;
+  bool done = false;
+  while (!done) {
+    std::printf(buffer.empty() ? "prefsql> " : "      -> ");
+    std::fflush(stdout);
+    std::string line;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(StripWhitespace(line));
+
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (HandleCommand(trimmed, &session, &options, &done)) continue;
+    }
+
+    bool submit = trimmed.empty() ||
+                  (!trimmed.empty() && trimmed.back() == ';');
+    if (!trimmed.empty()) {
+      if (trimmed.back() == ';') trimmed.pop_back();
+      buffer += (buffer.empty() ? "" : " ") + trimmed;
+    }
+    if (!submit || buffer.empty()) continue;
+
+    auto result = session.Query(buffer, options);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+    } else {
+      std::printf("%s", result->relation.ToString(20).c_str());
+      std::printf("[%s] %.2f ms | %s\nplan:\n%s\n",
+                  std::string(StrategyKindName(options.strategy)).c_str(),
+                  result->millis, result->stats.ToString().c_str(),
+                  result->executed_plan.c_str());
+    }
+    buffer.clear();
+  }
+  return 0;
+}

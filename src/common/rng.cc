@@ -1,0 +1,49 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace prefdb {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(gen_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(gen_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(gen_);
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(static_cast<size_t>(n));
+    double sum = 0.0;
+    for (int64_t k = 1; k <= n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k), s);
+      zipf_cdf_[static_cast<size_t>(k - 1)] = sum;
+    }
+    for (double& v : zipf_cdf_) v /= sum;
+  }
+  double u = UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) --it;
+  return static_cast<int64_t>(it - zipf_cdf_.begin()) + 1;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(gen_);
+}
+
+}  // namespace prefdb

@@ -1,0 +1,46 @@
+#ifndef PREFDB_COMMON_RNG_H_
+#define PREFDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace prefdb {
+
+/// Deterministic random-number source used by the data generators and the
+/// randomized property tests. Wraps a Mersenne Twister with convenience
+/// draws; given the same seed, all platforms produce the same streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : gen_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (s > 0). Rank 1 is the
+  /// most frequent. Uses an inverse-CDF table built lazily per (n, s).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Gaussian draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Underlying engine, for std::shuffle and distributions not wrapped here.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  // Cached inverse-CDF for the last (n, s) Zipf configuration.
+  int64_t zipf_n_ = 0;
+  double zipf_s_ = 0.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_COMMON_RNG_H_

@@ -1,0 +1,141 @@
+#ifndef PREFDB_COMMON_STATUS_H_
+#define PREFDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace prefdb {
+
+/// Error category for a failed operation. Mirrors the usual database-engine
+/// taxonomy (RocksDB/Arrow style): the library never throws; every fallible
+/// public entry point returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error result for operations with no payload.
+///
+/// Cheap to copy in the success case (no allocation); carries a message in
+/// the error case. Usage follows the Google/Arrow idiom:
+///
+///   Status DoThing();
+///   RETURN_IF_ERROR(DoThing());
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Holds either a `T` (when `ok()`) or an error
+/// Status. Accessing the value of an error result aborts in debug builds.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value; this is the intended ergonomic use
+  /// (`return some_value;` from a StatusOr-returning function).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+namespace internal {
+// Concatenates for unique temporary names inside macros.
+#define PREFDB_CONCAT_IMPL(x, y) x##y
+#define PREFDB_CONCAT(x, y) PREFDB_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates an error Status to the caller; evaluates `expr` exactly once.
+#define RETURN_IF_ERROR(expr)                          \
+  do {                                                 \
+    ::prefdb::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+/// Assigns the value of a StatusOr expression to `lhs`, propagating errors.
+/// `lhs` may be a declaration, e.g. ASSIGN_OR_RETURN(auto x, Compute());
+#define ASSIGN_OR_RETURN(lhs, expr)                                  \
+  ASSIGN_OR_RETURN_IMPL(PREFDB_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)     \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace prefdb
+
+#endif  // PREFDB_COMMON_STATUS_H_

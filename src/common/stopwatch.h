@@ -1,0 +1,34 @@
+#ifndef PREFDB_COMMON_STOPWATCH_H_
+#define PREFDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace prefdb {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses and the
+/// per-query execution statistics.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_COMMON_STOPWATCH_H_

@@ -1,0 +1,37 @@
+#ifndef PREFDB_COMMON_STRING_UTIL_H_
+#define PREFDB_COMMON_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prefdb {
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `delim`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// ASCII lower-casing (identifiers and keywords only; no locale handling).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing.
+std::string ToUpper(std::string_view s);
+
+/// True if `s` equals `other` ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view s, std::string_view other);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,34 @@
+#ifndef PREFDB_DATAGEN_DBLP_GEN_H_
+#define PREFDB_DATAGEN_DBLP_GEN_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace prefdb {
+
+/// Options for the synthetic DBLP dataset generator. `scale` is relative to
+/// the paper's Table I (scale = 1.0 ≈ 2.66M publications). Deterministic in
+/// `seed`.
+struct DblpOptions {
+  double scale = 0.02;
+  uint64_t seed = 43;
+};
+
+/// Generates the bibliography database of the paper's Fig. 8:
+///
+///   PUBLICATIONS(p_id, title, pub_type)         pk p_id
+///   PUB_AUTHORS(p_id, a_id)                     pk (p_id, a_id)
+///   AUTHORS(a_id, name)                         pk a_id
+///   CONFERENCES(p_id, name, year, location)     pk p_id
+///   JOURNALS(p_id, name, year, volume)          pk p_id
+///   CITATIONS(p1_id, p2_id)                     pk (p1_id, p2_id)
+///
+/// Publication years skew recent, venue popularity and author productivity
+/// are Zipfian, and citations follow preferential attachment (older,
+/// popular papers collect more citations).
+StatusOr<Catalog> GenerateDblp(const DblpOptions& options);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_DATAGEN_DBLP_GEN_H_

@@ -1,0 +1,39 @@
+#ifndef PREFDB_DATAGEN_IMDB_GEN_H_
+#define PREFDB_DATAGEN_IMDB_GEN_H_
+
+#include <cstdint>
+
+#include "storage/catalog.h"
+
+namespace prefdb {
+
+/// Options for the synthetic IMDB dataset generator.
+///
+/// `scale` is relative to the paper's Table I: scale = 1.0 reproduces the
+/// original table sizes (MOVIES ≈ 1.57M, CAST ≈ 13.1M, ...); the benches
+/// default to a laptop-friendly fraction. The generator is deterministic in
+/// `seed`.
+struct ImdbOptions {
+  double scale = 0.02;
+  uint64_t seed = 42;
+};
+
+/// Generates the movie database of the paper's Fig. 1:
+///
+///   MOVIES(m_id, title, year, duration, d_id)     pk m_id
+///   DIRECTORS(d_id, director)                     pk d_id
+///   GENRES(m_id, genre)                           pk (m_id, genre)
+///   ACTORS(a_id, actor)                           pk a_id
+///   CAST(m_id, a_id, role)                        pk (m_id, a_id)
+///   RATINGS(m_id, rating, votes)                  pk m_id
+///   AWARDS(m_id, award, year)                     pk (m_id, award)
+///
+/// Distributions are chosen to resemble the real snapshot the paper used:
+/// production years skew recent, director/actor/genre popularity is
+/// Zipfian, about a fifth of the movies carry ratings with heavy-tailed
+/// vote counts, and a small fraction has awards.
+StatusOr<Catalog> GenerateImdb(const ImdbOptions& options);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_DATAGEN_IMDB_GEN_H_

@@ -1,0 +1,161 @@
+#include "engine/cardinality.h"
+
+#include <algorithm>
+
+namespace prefdb {
+
+namespace {
+
+constexpr double kDefaultSelectivity = 1.0 / 3.0;
+constexpr double kLikeSelectivity = 0.1;
+
+// Resolves the stats of a column reference by treating its qualifier (or,
+// failing that, any base table containing the name) as a table name.
+bool ResolveColumnStats(const ColumnRefExpr& ref, const Schema& schema,
+                        const Catalog& catalog, ColumnStats* out) {
+  int idx = schema.FindColumnOrNegative(ref.name());
+  if (idx < 0) return false;
+  const Column& col = schema.column(static_cast<size_t>(idx));
+  if (col.qualifier.empty()) return false;
+  auto table_or = catalog.GetTable(col.qualifier);
+  if (!table_or.ok()) return false;
+  Table* table = *table_or;
+  int base_idx = table->schema().FindColumnOrNegative(col.name);
+  if (base_idx < 0) return false;
+  *out = table->Stats(static_cast<size_t>(base_idx));
+  return true;
+}
+
+// Column-op-literal estimation. `flipped` means the literal was on the left.
+double EstimateComparison(const ComparisonExpr& cmp, const Schema& schema,
+                          const Catalog& catalog) {
+  const Expr* lhs = &cmp.left();
+  const Expr* rhs = &cmp.right();
+  CompareOp op = cmp.op();
+  if (lhs->kind() != ExprKind::kColumnRef && rhs->kind() == ExprKind::kColumnRef) {
+    std::swap(lhs, rhs);
+    // Mirror the operator: v < col  ≡  col > v.
+    switch (op) {
+      case CompareOp::kLt:
+        op = CompareOp::kGt;
+        break;
+      case CompareOp::kLe:
+        op = CompareOp::kGe;
+        break;
+      case CompareOp::kGt:
+        op = CompareOp::kLt;
+        break;
+      case CompareOp::kGe:
+        op = CompareOp::kLe;
+        break;
+      default:
+        break;
+    }
+  }
+  if (lhs->kind() == ExprKind::kColumnRef && rhs->kind() == ExprKind::kColumnRef &&
+      op == CompareOp::kEq) {
+    // Equi-join predicate: 1 / max(ndv_l, ndv_r) under containment of values.
+    ColumnStats ls;
+    ColumnStats rs;
+    if (ResolveColumnStats(static_cast<const ColumnRefExpr&>(*lhs), schema,
+                           catalog, &ls) &&
+        ResolveColumnStats(static_cast<const ColumnRefExpr&>(*rhs), schema,
+                           catalog, &rs)) {
+      double ndv = std::max<double>(
+          1.0, static_cast<double>(std::max(ls.distinct_count, rs.distinct_count)));
+      return 1.0 / ndv;
+    }
+    return kDefaultSelectivity;
+  }
+  if (lhs->kind() != ExprKind::kColumnRef || rhs->kind() != ExprKind::kLiteral) {
+    // Computed comparisons: default.
+    return kDefaultSelectivity;
+  }
+  ColumnStats stats;
+  if (!ResolveColumnStats(static_cast<const ColumnRefExpr&>(*lhs), schema, catalog,
+                          &stats) ||
+      stats.row_count == 0) {
+    return kDefaultSelectivity;
+  }
+  const Value& v = static_cast<const LiteralExpr&>(*rhs).value();
+  double ndv = std::max<double>(1.0, static_cast<double>(stats.distinct_count));
+  switch (op) {
+    case CompareOp::kEq:
+      return 1.0 / ndv;
+    case CompareOp::kNe:
+      return 1.0 - 1.0 / ndv;
+    case CompareOp::kLike:
+      return kLikeSelectivity;
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+    case CompareOp::kGt:
+    case CompareOp::kGe: {
+      if (!stats.has_range || !v.is_numeric() || stats.max <= stats.min) {
+        return kDefaultSelectivity;
+      }
+      double x = v.NumericValue();
+      double frac_below = (x - stats.min) / (stats.max - stats.min);
+      frac_below = std::clamp(frac_below, 0.0, 1.0);
+      if (op == CompareOp::kLt || op == CompareOp::kLe) return frac_below;
+      return 1.0 - frac_below;
+    }
+  }
+  return kDefaultSelectivity;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Expr& expr, const Schema& schema,
+                           const Catalog& catalog) {
+  switch (expr.kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value();
+      return IsTruthy(v) ? 1.0 : 0.0;
+    }
+    case ExprKind::kComparison:
+      return EstimateComparison(static_cast<const ComparisonExpr&>(expr), schema,
+                                catalog);
+    case ExprKind::kLogical: {
+      const auto& logical = static_cast<const LogicalExpr&>(expr);
+      double l = EstimateSelectivity(logical.left(), schema, catalog);
+      double r = EstimateSelectivity(logical.right(), schema, catalog);
+      if (logical.op() == LogicalOp::kAnd) return l * r;
+      return l + r - l * r;
+    }
+    case ExprKind::kNot:
+      return 1.0 - EstimateSelectivity(static_cast<const NotExpr&>(expr).operand(),
+                                       schema, catalog);
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (in.operand().kind() == ExprKind::kColumnRef) {
+        ColumnStats stats;
+        if (ResolveColumnStats(static_cast<const ColumnRefExpr&>(in.operand()),
+                               schema, catalog, &stats) &&
+            stats.distinct_count > 0) {
+          return std::min(1.0, static_cast<double>(in.values().size()) /
+                                   static_cast<double>(stats.distinct_count));
+        }
+      }
+      return kDefaultSelectivity;
+    }
+    case ExprKind::kColumnRef:
+    case ExprKind::kArithmetic:
+    case ExprKind::kFunction:
+      return kDefaultSelectivity;
+  }
+  return kDefaultSelectivity;
+}
+
+double EstimateScanCardinality(const std::string& table_name,
+                               const Expr* predicate, const Catalog& catalog) {
+  auto table_or = catalog.GetTable(table_name);
+  if (!table_or.ok()) return 0.0;
+  Table* table = *table_or;
+  double rows = static_cast<double>(table->NumRows());
+  if (predicate != nullptr) {
+    rows *= EstimateSelectivity(*predicate, table->schema(), catalog);
+  }
+  return rows;
+}
+
+}  // namespace prefdb

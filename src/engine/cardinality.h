@@ -1,0 +1,39 @@
+#ifndef PREFDB_ENGINE_CARDINALITY_H_
+#define PREFDB_ENGINE_CARDINALITY_H_
+
+#include "expr/expr.h"
+#include "storage/catalog.h"
+#include "types/schema.h"
+
+namespace prefdb {
+
+/// Textbook selectivity estimation over catalog statistics, used by the
+/// native optimizer (join ordering, access paths) and by the
+/// preference-aware optimizer (heuristic 5: order prefer operators by
+/// ascending selectivity of their conditional parts).
+///
+/// Estimates are resolved per column by mapping the column's qualifier back
+/// to a base table in `catalog`; columns that cannot be resolved (computed
+/// columns, unknown qualifiers) fall back to conservative defaults.
+///
+/// Rules (uniformity assumptions):
+///   col = v        →  1 / ndv(col)
+///   col <> v       →  1 - 1/ndv
+///   col < / <= / > / >= v → linear interpolation over [min, max]
+///   col LIKE p     →  0.1
+///   col IN (k...)  →  k / ndv, capped at 1
+///   a AND b        →  sel(a) * sel(b)
+///   a OR b         →  sel(a) + sel(b) - sel(a)sel(b)
+///   NOT a          →  1 - sel(a)
+///   other          →  1/3 (Selinger's default)
+double EstimateSelectivity(const Expr& expr, const Schema& schema,
+                           const Catalog& catalog);
+
+/// Estimated output cardinality of scanning `table_name` and applying
+/// `predicate` (nullptr means no predicate).
+double EstimateScanCardinality(const std::string& table_name,
+                               const Expr* predicate, const Catalog& catalog);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ENGINE_CARDINALITY_H_

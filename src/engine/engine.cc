@@ -1,0 +1,33 @@
+#include "engine/engine.h"
+
+#include "engine/executor.h"
+#include "engine/native_optimizer.h"
+
+namespace prefdb {
+
+StatusOr<Relation> Engine::Execute(const PlanNode& query) {
+  ++stats_.engine_queries;
+  if (!native_optimizer_enabled_) {
+    return ExecutePlan(query, &catalog_, &stats_);
+  }
+  ASSIGN_OR_RETURN(NativeOptimizerResult optimized, NativeOptimize(query, catalog_));
+  return ExecutePlan(*optimized.plan, &catalog_, &stats_);
+}
+
+StatusOr<Relation> Engine::ExecuteUnoptimized(const PlanNode& query) {
+  ++stats_.engine_queries;
+  return ExecutePlan(query, &catalog_, &stats_);
+}
+
+StatusOr<std::vector<std::string>> Engine::ExplainJoinOrder(
+    const PlanNode& query) const {
+  ASSIGN_OR_RETURN(NativeOptimizerResult optimized, NativeOptimize(query, catalog_));
+  return optimized.join_order;
+}
+
+StatusOr<std::string> Engine::Explain(const PlanNode& query) const {
+  ASSIGN_OR_RETURN(NativeOptimizerResult optimized, NativeOptimize(query, catalog_));
+  return optimized.plan->ToString();
+}
+
+}  // namespace prefdb

@@ -1,0 +1,70 @@
+#ifndef PREFDB_ENGINE_ENGINE_H_
+#define PREFDB_ENGINE_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/exec_stats.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+#include "types/relation.h"
+
+namespace prefdb {
+
+/// The native database engine facade: the component the paper treats as the
+/// conventional DBMS underneath the preference layer. It accepts only
+/// *conventional* plans (no prefer operators), optimizes them with the
+/// native optimizer and executes them, exactly like the prototype delegates
+/// SQL fragments to PostgreSQL. The preference-aware strategies (src/exec)
+/// interact with the database exclusively through this interface — that is
+/// what makes the implementation "hybrid" rather than native.
+class Engine {
+ public:
+  explicit Engine(Catalog catalog) : catalog_(std::move(catalog)) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const Catalog& catalog() const { return catalog_; }
+  Catalog* mutable_catalog() { return &catalog_; }
+
+  /// Optimizes and executes a conventional plan; counts one engine query.
+  /// Fails if the plan contains prefer operators.
+  StatusOr<Relation> Execute(const PlanNode& query);
+
+  /// Executes without native optimization (for the optimizer-ablation
+  /// benchmarks and as a differential-testing oracle).
+  StatusOr<Relation> ExecuteUnoptimized(const PlanNode& query);
+
+  /// The paper's `EXPLAIN [query]`: returns the join order the native
+  /// optimizer would choose, without executing (negligible overhead). The
+  /// extended optimizer uses this to match its subtree arrangement to the
+  /// native one (§VI-A, rule "match the native join order").
+  StatusOr<std::vector<std::string>> ExplainJoinOrder(const PlanNode& query) const;
+
+  /// Human-readable optimized plan (EXPLAIN output).
+  StatusOr<std::string> Explain(const PlanNode& query) const;
+
+  /// Cumulative execution statistics since the last ResetStats().
+  const ExecStats& stats() const { return stats_; }
+  /// Mutable access for the preference layer's operators, so middle-layer
+  /// work (prefer evaluation, score-relation writes) lands in the same
+  /// per-query counters as delegated engine work.
+  ExecStats* mutable_stats() { return &stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Toggles the native optimizer (default on).
+  void set_native_optimizer_enabled(bool enabled) {
+    native_optimizer_enabled_ = enabled;
+  }
+  bool native_optimizer_enabled() const { return native_optimizer_enabled_; }
+
+ private:
+  Catalog catalog_;
+  ExecStats stats_;
+  bool native_optimizer_enabled_ = true;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ENGINE_ENGINE_H_

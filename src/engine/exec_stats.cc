@@ -1,0 +1,15 @@
+#include "engine/exec_stats.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+std::string ExecStats::ToString() const {
+  return StrFormat(
+      "materialized=%zu scanned=%zu engine_queries=%zu operators=%zu "
+      "score_entries=%zu",
+      tuples_materialized, rows_scanned, engine_queries, operator_invocations,
+      score_entries_written);
+}
+
+}  // namespace prefdb

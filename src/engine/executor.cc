@@ -1,0 +1,357 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+namespace {
+
+class Executor {
+ public:
+  Executor(Catalog* catalog, ExecStats* stats) : catalog_(catalog), stats_(stats) {}
+
+  StatusOr<Relation> Execute(const PlanNode& node) {
+    ++stats_->operator_invocations;
+    switch (node.kind) {
+      case PlanKind::kScan:
+        return ExecScan(node, /*predicate=*/nullptr);
+      case PlanKind::kSelect:
+        // Fuse Select(Scan) so base predicates can use indexes and avoid
+        // materializing the unfiltered table.
+        if (node.child().kind == PlanKind::kScan) {
+          return ExecScan(node.child(), node.predicate.get());
+        }
+        return ExecSelect(node);
+      case PlanKind::kProject:
+        return ExecProject(node);
+      case PlanKind::kJoin:
+        return ExecJoin(node, /*semi=*/false);
+      case PlanKind::kSemiJoin:
+        return ExecJoin(node, /*semi=*/true);
+      case PlanKind::kUnion:
+      case PlanKind::kIntersect:
+      case PlanKind::kExcept:
+        return ExecSetOp(node);
+      case PlanKind::kDistinct:
+        return ExecDistinct(node);
+      case PlanKind::kSort:
+        return ExecSort(node);
+      case PlanKind::kLimit:
+        return ExecLimit(node);
+      case PlanKind::kPrefer:
+        return Status::Unimplemented(
+            "the conventional executor cannot evaluate prefer operators; "
+            "use a preference-aware execution strategy");
+    }
+    return Status::Internal("unknown plan kind");
+  }
+
+ private:
+  StatusOr<Relation> ExecScan(const PlanNode& node, const Expr* predicate) {
+    ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(node.table_name));
+    Schema schema = table->schema();
+    if (!node.alias.empty() && node.alias != node.table_name) {
+      schema = schema.WithQualifier(node.alias);
+    }
+    Relation out(schema);
+    out.set_key_columns(table->primary_key());
+    const std::vector<Tuple>& rows = table->relation().rows();
+
+    if (predicate == nullptr) {
+      stats_->rows_scanned += rows.size();
+      *out.mutable_rows() = rows;
+      stats_->tuples_materialized += out.NumRows();
+      return out;
+    }
+
+    // Try an index scan: find an `col = literal` conjunct.
+    ExprPtr bound = predicate->Clone();
+    RETURN_IF_ERROR(bound->Bind(schema));
+    int index_col = -1;
+    Value index_key;
+    FindIndexableConjunct(*bound, schema, &index_col, &index_key);
+    if (index_col >= 0) {
+      const HashIndex& index = table->EnsureIndex(static_cast<size_t>(index_col));
+      const std::vector<uint32_t>& matches = index.Lookup(index_key);
+      stats_->rows_scanned += matches.size();
+      out.Reserve(matches.size());
+      for (uint32_t pos : matches) {
+        const Tuple& row = rows[pos];
+        if (IsTruthy(bound->Eval(row))) out.AddRow(row);
+      }
+    } else {
+      stats_->rows_scanned += rows.size();
+      for (const Tuple& row : rows) {
+        if (IsTruthy(bound->Eval(row))) out.AddRow(row);
+      }
+    }
+    stats_->tuples_materialized += out.NumRows();
+    return out;
+  }
+
+  // Looks for an equality conjunct between a column of `schema` and a
+  // literal, to serve via hash index. Prefers higher-selectivity (key)
+  // columns implicitly by taking the first match.
+  static void FindIndexableConjunct(const Expr& bound, const Schema& schema,
+                                    int* col_out, Value* key_out) {
+    if (bound.kind() == ExprKind::kLogical) {
+      const auto& logical = static_cast<const LogicalExpr&>(bound);
+      if (logical.op() != LogicalOp::kAnd) return;
+      FindIndexableConjunct(logical.left(), schema, col_out, key_out);
+      if (*col_out < 0) {
+        FindIndexableConjunct(logical.right(), schema, col_out, key_out);
+      }
+      return;
+    }
+    if (bound.kind() != ExprKind::kComparison) return;
+    const auto& cmp = static_cast<const ComparisonExpr&>(bound);
+    if (cmp.op() != CompareOp::kEq) return;
+    const Expr* col = &cmp.left();
+    const Expr* lit = &cmp.right();
+    if (col->kind() != ExprKind::kColumnRef) std::swap(col, lit);
+    if (col->kind() != ExprKind::kColumnRef || lit->kind() != ExprKind::kLiteral) {
+      return;
+    }
+    int idx = static_cast<const ColumnRefExpr*>(col)->index();
+    if (idx < 0) return;
+    *col_out = idx;
+    *key_out = static_cast<const LiteralExpr*>(lit)->value();
+  }
+
+  StatusOr<Relation> ExecSelect(const PlanNode& node) {
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+    ExprPtr bound = node.predicate->Clone();
+    RETURN_IF_ERROR(bound->Bind(input.schema()));
+    Relation out(input.schema());
+    out.set_key_columns(input.key_columns());
+    for (Tuple& row : *input.mutable_rows()) {
+      if (IsTruthy(bound->Eval(row))) out.AddRow(std::move(row));
+    }
+    stats_->tuples_materialized += out.NumRows();
+    return out;
+  }
+
+  StatusOr<Relation> ExecProject(const PlanNode& node) {
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+    PlanShape input_shape{input.schema(), input.key_columns()};
+    ASSIGN_OR_RETURN(ProjectionResolution res,
+                     ResolveProjection(input_shape, node.project_columns));
+    Relation out(input.schema().Select(res.indices));
+    out.set_key_columns(res.key_positions);
+    out.Reserve(input.NumRows());
+    for (const Tuple& row : input.rows()) {
+      out.AddRow(ProjectTuple(row, res.indices));
+    }
+    stats_->tuples_materialized += out.NumRows();
+    return out;
+  }
+
+  // Finds an equi-join conjunct `l = r` with l from the left schema and r
+  // from the right schema. Returns false if none exists.
+  static bool FindEquiConjunct(const Expr& predicate, const Schema& left,
+                               const Schema& right, std::string* left_col,
+                               std::string* right_col) {
+    if (predicate.kind() == ExprKind::kLogical) {
+      const auto& logical = static_cast<const LogicalExpr&>(predicate);
+      if (logical.op() != LogicalOp::kAnd) return false;
+      return FindEquiConjunct(logical.left(), left, right, left_col, right_col) ||
+             FindEquiConjunct(logical.right(), left, right, left_col, right_col);
+    }
+    if (predicate.kind() != ExprKind::kComparison) return false;
+    const auto& cmp = static_cast<const ComparisonExpr&>(predicate);
+    if (cmp.op() != CompareOp::kEq) return false;
+    if (cmp.left().kind() != ExprKind::kColumnRef ||
+        cmp.right().kind() != ExprKind::kColumnRef) {
+      return false;
+    }
+    const std::string& a = static_cast<const ColumnRefExpr&>(cmp.left()).name();
+    const std::string& b = static_cast<const ColumnRefExpr&>(cmp.right()).name();
+    if (left.HasColumn(a) && right.HasColumn(b)) {
+      *left_col = a;
+      *right_col = b;
+      return true;
+    }
+    if (left.HasColumn(b) && right.HasColumn(a)) {
+      *left_col = b;
+      *right_col = a;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<Relation> ExecJoin(const PlanNode& node, bool semi) {
+    ASSIGN_OR_RETURN(Relation left, Execute(node.child(0)));
+    ASSIGN_OR_RETURN(Relation right, Execute(node.child(1)));
+
+    Schema combined = left.schema().Concat(right.schema());
+    ExprPtr bound = node.predicate->Clone();
+    RETURN_IF_ERROR(bound->Bind(combined));
+
+    Relation out(semi ? left.schema() : combined);
+    std::vector<size_t> keys = left.key_columns();
+    if (!semi) {
+      for (size_t k : right.key_columns()) keys.push_back(k + left.schema().size());
+    }
+    out.set_key_columns(std::move(keys));
+
+    std::string left_col;
+    std::string right_col;
+    if (FindEquiConjunct(*node.predicate, left.schema(), right.schema(),
+                         &left_col, &right_col)) {
+      // Hash join: build on the right input, probe with the left.
+      ASSIGN_OR_RETURN(size_t li, left.schema().FindColumn(left_col));
+      ASSIGN_OR_RETURN(size_t ri, right.schema().FindColumn(right_col));
+      std::unordered_map<Value, std::vector<uint32_t>, ValueHash> build;
+      build.reserve(right.NumRows());
+      const std::vector<Tuple>& rrows = right.rows();
+      for (size_t i = 0; i < rrows.size(); ++i) {
+        build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
+      }
+      for (const Tuple& lrow : left.rows()) {
+        auto it = build.find(lrow[li]);
+        if (it == build.end()) continue;
+        for (uint32_t pos : it->second) {
+          Tuple joined = ConcatTuples(lrow, rrows[pos]);
+          if (!IsTruthy(bound->Eval(joined))) continue;
+          if (semi) {
+            out.AddRow(lrow);
+            break;  // Left tuple qualifies once.
+          }
+          out.AddRow(std::move(joined));
+        }
+      }
+    } else {
+      // Nested-loop join.
+      for (const Tuple& lrow : left.rows()) {
+        bool matched = false;
+        for (const Tuple& rrow : right.rows()) {
+          Tuple joined = ConcatTuples(lrow, rrow);
+          if (!IsTruthy(bound->Eval(joined))) continue;
+          if (semi) {
+            matched = true;
+            break;
+          }
+          out.AddRow(std::move(joined));
+        }
+        if (semi && matched) out.AddRow(lrow);
+      }
+    }
+    stats_->tuples_materialized += out.NumRows();
+    return out;
+  }
+
+  StatusOr<Relation> ExecSetOp(const PlanNode& node) {
+    ASSIGN_OR_RETURN(Relation left, Execute(node.child(0)));
+    ASSIGN_OR_RETURN(Relation right, Execute(node.child(1)));
+    if (left.schema().size() != right.schema().size()) {
+      return Status::InvalidArgument("set operation inputs differ in arity");
+    }
+    Relation out(left.schema());
+    out.set_key_columns(left.key_columns());
+    std::unordered_set<Tuple, TupleHash, TupleEq> seen;
+    switch (node.kind) {
+      case PlanKind::kUnion: {
+        for (const Relation* rel : {&left, &right}) {
+          for (const Tuple& row : rel->rows()) {
+            if (seen.insert(row).second) out.AddRow(row);
+          }
+        }
+        break;
+      }
+      case PlanKind::kIntersect: {
+        std::unordered_set<Tuple, TupleHash, TupleEq> right_set(
+            right.rows().begin(), right.rows().end());
+        for (const Tuple& row : left.rows()) {
+          if (right_set.count(row) > 0 && seen.insert(row).second) {
+            out.AddRow(row);
+          }
+        }
+        break;
+      }
+      case PlanKind::kExcept: {
+        std::unordered_set<Tuple, TupleHash, TupleEq> right_set(
+            right.rows().begin(), right.rows().end());
+        for (const Tuple& row : left.rows()) {
+          if (right_set.count(row) == 0 && seen.insert(row).second) {
+            out.AddRow(row);
+          }
+        }
+        break;
+      }
+      default:
+        return Status::Internal("not a set operation");
+    }
+    stats_->tuples_materialized += out.NumRows();
+    return out;
+  }
+
+  StatusOr<Relation> ExecDistinct(const PlanNode& node) {
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+    Relation out(input.schema());
+    out.set_key_columns(input.key_columns());
+    std::unordered_set<Tuple, TupleHash, TupleEq> seen;
+    seen.reserve(input.NumRows());
+    for (Tuple& row : *input.mutable_rows()) {
+      if (seen.insert(row).second) out.AddRow(std::move(row));
+    }
+    stats_->tuples_materialized += out.NumRows();
+    return out;
+  }
+
+  StatusOr<Relation> ExecSort(const PlanNode& node) {
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+    struct ResolvedKey {
+      size_t index;
+      bool descending;
+    };
+    std::vector<ResolvedKey> keys;
+    keys.reserve(node.sort_keys.size());
+    for (const SortKey& k : node.sort_keys) {
+      ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(k.column));
+      keys.push_back({idx, k.descending});
+    }
+    // Tie-break on the relation key so the order (and any LIMIT cutoff
+    // above) is deterministic regardless of input row order.
+    const std::vector<size_t>& pk = input.key_columns();
+    std::stable_sort(input.mutable_rows()->begin(), input.mutable_rows()->end(),
+                     [&keys, &pk](const Tuple& a, const Tuple& b) {
+                       for (const ResolvedKey& k : keys) {
+                         int c = a[k.index].Compare(b[k.index]);
+                         if (c != 0) return k.descending ? c > 0 : c < 0;
+                       }
+                       for (size_t k : pk) {
+                         int c = a[k].Compare(b[k]);
+                         if (c != 0) return c < 0;
+                       }
+                       return false;
+                     });
+    stats_->tuples_materialized += input.NumRows();
+    return input;
+  }
+
+  StatusOr<Relation> ExecLimit(const PlanNode& node) {
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+    if (input.NumRows() > node.limit) {
+      input.mutable_rows()->resize(node.limit);
+    }
+    stats_->tuples_materialized += input.NumRows();
+    return input;
+  }
+
+  Catalog* catalog_;
+  ExecStats* stats_;
+};
+
+}  // namespace
+
+StatusOr<Relation> ExecutePlan(const PlanNode& node, Catalog* catalog,
+                               ExecStats* stats) {
+  Executor executor(catalog, stats);
+  return executor.Execute(node);
+}
+
+}  // namespace prefdb

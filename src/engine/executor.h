@@ -1,0 +1,29 @@
+#ifndef PREFDB_ENGINE_EXECUTOR_H_
+#define PREFDB_ENGINE_EXECUTOR_H_
+
+#include "engine/exec_stats.h"
+#include "plan/plan.h"
+#include "storage/catalog.h"
+#include "types/relation.h"
+
+namespace prefdb {
+
+/// Executes a *conventional* plan (no kPrefer nodes) against the catalog,
+/// materializing every operator's output — the substrate's stand-in for the
+/// black-box DBMS executor of the paper's prototype.
+///
+/// Physical behaviour:
+///   * Select-over-Scan is fused; an equality conjunct on an indexed base
+///     column uses the table's hash index instead of a full scan.
+///   * Joins use a hash join when an equi-conjunct links the two sides,
+///     falling back to a nested-loop join otherwise.
+///   * Set operations and DISTINCT use whole-tuple hashing.
+///
+/// Execution updates `stats` (rows scanned/materialized, operator count).
+/// Returns Unimplemented if the plan contains a kPrefer node.
+StatusOr<Relation> ExecutePlan(const PlanNode& node, Catalog* catalog,
+                               ExecStats* stats);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_ENGINE_EXECUTOR_H_

@@ -1,0 +1,286 @@
+#include "engine/native_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "engine/cardinality.h"
+
+namespace prefdb {
+
+double EstimatePlanCardinality(const PlanNode& node, const Catalog& catalog) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return EstimateScanCardinality(node.table_name, nullptr, catalog);
+    case PlanKind::kSelect: {
+      double child = EstimatePlanCardinality(node.child(), catalog);
+      auto shape = DerivePlanShape(node.child(), catalog);
+      double sel = shape.ok()
+                       ? EstimateSelectivity(*node.predicate, shape->schema, catalog)
+                       : 1.0 / 3.0;
+      return child * sel;
+    }
+    case PlanKind::kProject:
+    case PlanKind::kPrefer:
+      return EstimatePlanCardinality(node.child(), catalog);
+    case PlanKind::kJoin: {
+      double l = EstimatePlanCardinality(node.child(0), catalog);
+      double r = EstimatePlanCardinality(node.child(1), catalog);
+      auto shape = DerivePlanShape(node, catalog);
+      double sel = shape.ok()
+                       ? EstimateSelectivity(*node.predicate, shape->schema, catalog)
+                       : 1.0 / 3.0;
+      return l * r * sel;
+    }
+    case PlanKind::kSemiJoin:
+      // At most every left tuple qualifies; halve as a crude default.
+      return 0.5 * EstimatePlanCardinality(node.child(0), catalog);
+    case PlanKind::kUnion:
+      return EstimatePlanCardinality(node.child(0), catalog) +
+             EstimatePlanCardinality(node.child(1), catalog);
+    case PlanKind::kIntersect:
+      return std::min(EstimatePlanCardinality(node.child(0), catalog),
+                      EstimatePlanCardinality(node.child(1), catalog));
+    case PlanKind::kExcept:
+      return EstimatePlanCardinality(node.child(0), catalog);
+    case PlanKind::kDistinct:
+    case PlanKind::kSort:
+      return EstimatePlanCardinality(node.child(), catalog);
+    case PlanKind::kLimit:
+      return std::min<double>(static_cast<double>(node.limit),
+                              EstimatePlanCardinality(node.child(), catalog));
+  }
+  return 0.0;
+}
+
+namespace {
+
+// A join-cluster unit: an optimized subtree plus its derived shape and
+// estimated cardinality.
+struct Unit {
+  PlanPtr plan;
+  Schema schema;
+  double cardinality = 0.0;
+};
+
+class NativeOptimizer {
+ public:
+  explicit NativeOptimizer(const Catalog& catalog) : catalog_(catalog) {}
+
+  StatusOr<PlanPtr> Optimize(const PlanNode& node) {
+    if (node.kind == PlanKind::kJoin || node.kind == PlanKind::kSelect) {
+      return OptimizeCluster(node);
+    }
+    // Recurse beneath non-cluster operators.
+    PlanPtr copy = node.Clone();
+    for (PlanPtr& child : copy->children) {
+      ASSIGN_OR_RETURN(child, Optimize(*child));
+    }
+    return copy;
+  }
+
+  const std::vector<std::string>& join_order() const { return join_order_; }
+
+ private:
+  // Flattens the maximal Select/Join cluster rooted at `node` into units
+  // (non-cluster subtrees) and predicate conjuncts; then pushes predicates
+  // and greedily rebuilds a left-deep join tree.
+  StatusOr<PlanPtr> OptimizeCluster(const PlanNode& node) {
+    ASSIGN_OR_RETURN(PlanShape original_shape, DerivePlanShape(node, catalog_));
+    std::vector<Unit> units;
+    std::vector<ExprPtr> predicates;
+    RETURN_IF_ERROR(Flatten(node, &units, &predicates));
+
+    // Push every predicate that binds to a single unit onto that unit.
+    std::vector<ExprPtr> join_predicates;
+    for (ExprPtr& pred : predicates) {
+      int target = -1;
+      bool multiple = false;
+      for (size_t i = 0; i < units.size(); ++i) {
+        if (ExprBindsTo(*pred, units[i].schema)) {
+          if (target >= 0) multiple = true;
+          target = static_cast<int>(i);
+          break;  // First match wins; schemas are disjoint after aliasing.
+        }
+      }
+      (void)multiple;
+      if (target >= 0) {
+        Unit& u = units[static_cast<size_t>(target)];
+        u.plan = plan::Select(std::move(pred), std::move(u.plan));
+        ASSIGN_OR_RETURN(u.cardinality, Recost(*u.plan));
+      } else {
+        join_predicates.push_back(std::move(pred));
+      }
+    }
+
+    PlanPtr rebuilt;
+    if (units.size() == 1) {
+      RecordJoinOrder(units[0]);
+      // Residual join predicates that bind nowhere would be a planning bug.
+      if (!join_predicates.empty()) {
+        return Status::InvalidArgument(
+            "predicate references columns outside the query: " +
+            join_predicates[0]->ToString());
+      }
+      rebuilt = std::move(units[0].plan);
+    } else {
+      ASSIGN_OR_RETURN(
+          rebuilt, BuildLeftDeep(std::move(units), std::move(join_predicates)));
+    }
+    return RestoreShape(std::move(rebuilt), original_shape);
+  }
+
+  // Join reordering permutes the output column order; wrap with a projection
+  // that restores the cluster's original schema so callers (and the
+  // preference layer's score relations) see an unchanged shape.
+  StatusOr<PlanPtr> RestoreShape(PlanPtr plan, const PlanShape& original) {
+    ASSIGN_OR_RETURN(PlanShape actual, DerivePlanShape(*plan, catalog_));
+    if (actual.schema == original.schema) return plan;
+    std::vector<std::string> columns;
+    columns.reserve(original.schema.size());
+    for (const Column& c : original.schema.columns()) {
+      columns.push_back(c.FullName());
+    }
+    return plan::Project(std::move(columns), std::move(plan));
+  }
+
+  Status Flatten(const PlanNode& node, std::vector<Unit>* units,
+                 std::vector<ExprPtr>* predicates) {
+    switch (node.kind) {
+      case PlanKind::kSelect: {
+        ExprPtr pred = node.predicate->Clone();
+        std::vector<ExprPtr> conjuncts = SplitConjuncts(std::move(pred));
+        for (ExprPtr& c : conjuncts) predicates->push_back(std::move(c));
+        return Flatten(node.child(), units, predicates);
+      }
+      case PlanKind::kJoin: {
+        ExprPtr pred = node.predicate->Clone();
+        std::vector<ExprPtr> conjuncts = SplitConjuncts(std::move(pred));
+        for (ExprPtr& c : conjuncts) {
+          // Drop constant TRUE padding introduced by prior rewrites.
+          if (c->kind() == ExprKind::kLiteral &&
+              IsTruthy(static_cast<LiteralExpr*>(c.get())->value())) {
+            continue;
+          }
+          predicates->push_back(std::move(c));
+        }
+        RETURN_IF_ERROR(Flatten(node.child(0), units, predicates));
+        return Flatten(node.child(1), units, predicates);
+      }
+      default: {
+        ASSIGN_OR_RETURN(PlanPtr optimized, Optimize(node));
+        ASSIGN_OR_RETURN(PlanShape shape, DerivePlanShape(*optimized, catalog_));
+        double card = EstimatePlanCardinality(*optimized, catalog_);
+        units->push_back(Unit{std::move(optimized), std::move(shape.schema), card});
+        return Status::OK();
+      }
+    }
+  }
+
+  StatusOr<double> Recost(const PlanNode& plan) {
+    return EstimatePlanCardinality(plan, catalog_);
+  }
+
+  void RecordJoinOrder(const Unit& unit) { RecordAliases(*unit.plan); }
+
+  void RecordAliases(const PlanNode& node) {
+    if (node.kind == PlanKind::kScan) {
+      join_order_.push_back(node.alias.empty() ? node.table_name : node.alias);
+      return;
+    }
+    for (const PlanPtr& c : node.children) RecordAliases(*c);
+  }
+
+  StatusOr<PlanPtr> BuildLeftDeep(std::vector<Unit> units,
+                                  std::vector<ExprPtr> join_predicates) {
+    // Start from the smallest unit.
+    size_t start = 0;
+    for (size_t i = 1; i < units.size(); ++i) {
+      if (units[i].cardinality < units[start].cardinality) start = i;
+    }
+    Unit current = std::move(units[start]);
+    units.erase(units.begin() + static_cast<long>(start));
+    RecordJoinOrder(current);
+
+    while (!units.empty()) {
+      // For each candidate, find the predicates that would apply and the
+      // estimated result size; choose the cheapest (connected joins beat
+      // cross joins by construction of the estimate).
+      double best_cost = std::numeric_limits<double>::infinity();
+      size_t best_index = 0;
+      bool best_connected = false;
+      for (size_t i = 0; i < units.size(); ++i) {
+        Schema combined = current.schema.Concat(units[i].schema);
+        double sel = 1.0;
+        bool connected = false;
+        for (const ExprPtr& pred : join_predicates) {
+          if (ExprBindsTo(*pred, combined)) {
+            connected = true;
+            sel *= EstimateSelectivity(*pred, combined, catalog_);
+          }
+        }
+        double cost = current.cardinality * units[i].cardinality * sel;
+        if (!connected) {
+          cost = current.cardinality * units[i].cardinality;  // Cross join.
+        }
+        if ((connected && !best_connected) ||
+            (connected == best_connected && cost < best_cost)) {
+          best_cost = cost;
+          best_index = i;
+          best_connected = connected;
+        }
+      }
+
+      Unit next = std::move(units[best_index]);
+      units.erase(units.begin() + static_cast<long>(best_index));
+      RecordJoinOrder(next);
+
+      Schema combined = current.schema.Concat(next.schema);
+      std::vector<ExprPtr> applicable;
+      for (auto it = join_predicates.begin(); it != join_predicates.end();) {
+        if (ExprBindsTo(**it, combined)) {
+          applicable.push_back(std::move(*it));
+          it = join_predicates.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      ExprPtr condition = CombineConjuncts(std::move(applicable));
+      current.plan =
+          plan::Join(std::move(condition), std::move(current.plan),
+                     std::move(next.plan));
+      current.schema = std::move(combined);
+      current.cardinality = best_cost;
+    }
+
+    if (!join_predicates.empty()) {
+      // Predicates that never bound (references outside the cluster).
+      current.plan = plan::Select(CombineConjuncts(std::move(join_predicates)),
+                                  std::move(current.plan));
+    }
+    return std::move(current.plan);
+  }
+
+  const Catalog& catalog_;
+  std::vector<std::string> join_order_;
+};
+
+}  // namespace
+
+StatusOr<NativeOptimizerResult> NativeOptimize(const PlanNode& input,
+                                               const Catalog& catalog) {
+  if (input.ContainsPrefer()) {
+    return Status::InvalidArgument(
+        "native optimizer received an extended plan (contains prefer)");
+  }
+  // Validate before and after: rewrites must preserve well-formedness.
+  RETURN_IF_ERROR(DerivePlanShape(input, catalog).status());
+  NativeOptimizer optimizer(catalog);
+  ASSIGN_OR_RETURN(PlanPtr plan, optimizer.Optimize(input));
+  RETURN_IF_ERROR(DerivePlanShape(*plan, catalog).status());
+  NativeOptimizerResult result;
+  result.plan = std::move(plan);
+  result.join_order = optimizer.join_order();
+  return result;
+}
+
+}  // namespace prefdb

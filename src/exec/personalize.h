@@ -1,0 +1,30 @@
+#ifndef PREFDB_EXEC_PERSONALIZE_H_
+#define PREFDB_EXEC_PERSONALIZE_H_
+
+#include "parser/parser.h"
+#include "prefs/profile.h"
+#include "storage/catalog.h"
+
+namespace prefdb {
+
+/// Query personalization (paper §I/§V): injects the profile preferences
+/// relevant to `query` into its plan, so a plain SQL query is transparently
+/// turned into a preferential one. A profile preference is injected when
+///   * every relation it targets appears in the query, and
+///   * its condition and scoring bind against the query's pre-projection
+///     schema (unqualified references that turn ambiguous in a join are
+///     skipped rather than failing the query).
+///
+/// Injected prefer operators are placed below the query's projection (whose
+/// column list is extended with the attributes the preferences need — the
+/// same guarantee the parser gives its own PREFERRING clause). Returns the
+/// number of preferences injected.
+StatusOr<size_t> InjectProfile(ParsedQuery* query, const Profile& profile,
+                               const Catalog& catalog);
+
+/// Names (aliases) of the base relations a plan reads.
+std::vector<std::string> PlanRelations(const PlanNode& plan);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EXEC_PERSONALIZE_H_

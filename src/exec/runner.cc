@@ -1,0 +1,97 @@
+#include "exec/runner.h"
+
+#include "common/stopwatch.h"
+#include "exec/personalize.h"
+#include "palgebra/filters.h"
+
+namespace prefdb {
+
+namespace {
+
+// Projects the final scored relation onto the user's requested columns,
+// keeping the trailing score/conf columns. Empty `columns` means keep all.
+StatusOr<Relation> FinalProjection(Relation scored,
+                                   const std::vector<std::string>& columns) {
+  if (columns.empty()) return scored;
+  std::vector<size_t> indices;
+  indices.reserve(columns.size() + 2);
+  for (const std::string& name : columns) {
+    ASSIGN_OR_RETURN(size_t idx, scored.schema().FindColumn(name));
+    indices.push_back(idx);
+  }
+  ASSIGN_OR_RETURN(size_t score_idx, scored.schema().FindColumn("score"));
+  ASSIGN_OR_RETURN(size_t conf_idx, scored.schema().FindColumn("conf"));
+  indices.push_back(score_idx);
+  indices.push_back(conf_idx);
+
+  Relation out(scored.schema().Select(indices));
+  out.Reserve(scored.NumRows());
+  for (const Tuple& row : scored.rows()) {
+    out.AddRow(ProjectTuple(row, indices));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> Session::Query(std::string_view prefsql,
+                                     const QueryOptions& options) {
+  ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(prefsql, engine_.catalog()));
+  return Run(parsed, options);
+}
+
+StatusOr<QueryResult> Session::QueryPersonalized(std::string_view prefsql,
+                                                 const Profile& profile,
+                                                 const QueryOptions& options) {
+  ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(prefsql, engine_.catalog()));
+  RETURN_IF_ERROR(InjectProfile(&parsed, profile, engine_.catalog()).status());
+  return Run(parsed, options);
+}
+
+StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
+                                   const QueryOptions& options) {
+  Stopwatch watch;
+  ExecStats before = engine_.stats();
+
+  const PlanNode* plan = parsed.plan.get();
+  PlanPtr optimized;
+  // FtP and the plug-ins rebuild their own query from the plan's prefer
+  // operators and non-preference skeleton; the extended optimizer serves
+  // the plan-driven strategies (BU, GBU).
+  bool plan_driven = options.strategy == StrategyKind::kBU ||
+                     options.strategy == StrategyKind::kGBU;
+  if (options.optimize && plan_driven) {
+    ExtendedOptimizer optimizer(&engine_, options.optimizer);
+    ASSIGN_OR_RETURN(optimized, optimizer.Optimize(*parsed.plan));
+    plan = optimized.get();
+  }
+
+  std::unique_ptr<Strategy> strategy = MakeStrategy(options.strategy);
+  const AggregateFunction* agg = parsed.agg;
+  if (agg == nullptr) {
+    ASSIGN_OR_RETURN(agg, GetAggregateFunction("wsum"));
+  }
+  ASSIGN_OR_RETURN(PRelation evaluated, strategy->Execute(*plan, *agg, &engine_));
+
+  ASSIGN_OR_RETURN(Relation filtered, ApplyFilters(evaluated, parsed.filters));
+  ASSIGN_OR_RETURN(Relation final_rel,
+                   FinalProjection(std::move(filtered), parsed.output_columns));
+
+  QueryResult result;
+  result.relation = std::move(final_rel);
+  result.millis = watch.ElapsedMillis();
+  result.executed_plan = plan->ToString();
+  // Per-query stats: cumulative engine counters minus the starting point.
+  ExecStats after = engine_.stats();
+  result.stats.tuples_materialized =
+      after.tuples_materialized - before.tuples_materialized;
+  result.stats.rows_scanned = after.rows_scanned - before.rows_scanned;
+  result.stats.engine_queries = after.engine_queries - before.engine_queries;
+  result.stats.operator_invocations =
+      after.operator_invocations - before.operator_invocations;
+  result.stats.score_entries_written =
+      after.score_entries_written - before.score_entries_written;
+  return result;
+}
+
+}  // namespace prefdb

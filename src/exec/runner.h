@@ -1,0 +1,75 @@
+#ifndef PREFDB_EXEC_RUNNER_H_
+#define PREFDB_EXEC_RUNNER_H_
+
+#include <string>
+#include <string_view>
+
+#include "exec/strategy.h"
+#include "optimizer/extended_optimizer.h"
+#include "parser/parser.h"
+#include "prefs/profile.h"
+
+namespace prefdb {
+
+/// Per-query options: which execution strategy to use and how (whether) to
+/// run the preference-aware optimizer first.
+struct QueryOptions {
+  StrategyKind strategy = StrategyKind::kGBU;
+  /// Run the extended optimizer before execution (BU/GBU benefit; FtP and
+  /// the plug-ins work from the unoptimized plan, as in the paper).
+  bool optimize = true;
+  ExtendedOptimizerOptions optimizer;
+};
+
+/// The answer of a preferential query plus its execution telemetry.
+struct QueryResult {
+  /// Final relation: the requested columns plus trailing `score` and `conf`
+  /// columns, filtered and ordered per the query's filter clauses.
+  Relation relation;
+  /// Statistics accumulated while executing this query.
+  ExecStats stats;
+  /// Wall-clock time, milliseconds.
+  double millis = 0.0;
+  /// The plan that was executed (after extended optimization), printable.
+  std::string executed_plan;
+};
+
+/// A database session: owns the engine (catalog + native optimizer +
+/// executor) and runs preferential queries end to end —
+/// parse → extended optimize → strategy execute → filter → project.
+///
+///   Session session(BuildCatalog());
+///   auto result = session.Query(
+///       "SELECT title FROM MOVIES "
+///       "PREFERRING (year >= 2000) SCORE recency(year, 2011) CONF 0.9 "
+///       "TOP 10 BY SCORE");
+class Session {
+ public:
+  explicit Session(Catalog catalog) : engine_(std::move(catalog)) {}
+
+  /// Parses and runs a PrefSQL query.
+  StatusOr<QueryResult> Query(std::string_view prefsql,
+                              const QueryOptions& options = QueryOptions());
+
+  /// Runs an already parsed query (the programmatic entry point; the
+  /// workload builders and benches use this to reuse parses).
+  StatusOr<QueryResult> Run(const ParsedQuery& parsed,
+                            const QueryOptions& options = QueryOptions());
+
+  /// Query personalization (paper §I/§V): parses `prefsql` (typically a
+  /// plain SQL query without a PREFERRING clause) and transparently
+  /// injects the relevant preferences from `profile` before executing.
+  StatusOr<QueryResult> QueryPersonalized(
+      std::string_view prefsql, const Profile& profile,
+      const QueryOptions& options = QueryOptions());
+
+  Engine& engine() { return engine_; }
+  const Engine& engine() const { return engine_; }
+
+ private:
+  Engine engine_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_EXEC_RUNNER_H_

@@ -1,0 +1,500 @@
+#include "exec/strategy.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "optimizer/extended_optimizer.h"
+#include "palgebra/p_ops.h"
+
+namespace prefdb {
+
+std::string_view StrategyKindName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFtP:
+      return "FtP";
+    case StrategyKind::kBU:
+      return "BU";
+    case StrategyKind::kGBU:
+      return "GBU";
+    case StrategyKind::kPlugInBasic:
+      return "PlugInBasic";
+    case StrategyKind::kPlugInCombined:
+      return "PlugInCombined";
+  }
+  return "?";
+}
+
+namespace {
+
+// True if any prefer operator occurs strictly below a set operation — the
+// situation where the origin side of a result tuple is no longer
+// distinguishable in the flat result of the non-preference query, so the
+// result-level strategies (FtP and the plug-ins) cannot apply preferences
+// faithfully and refuse (BU/GBU handle these plans).
+bool HasPreferUnderSetOp(const PlanNode& node, bool under_setop = false) {
+  bool is_setop = node.kind == PlanKind::kUnion ||
+                  node.kind == PlanKind::kIntersect ||
+                  node.kind == PlanKind::kExcept;
+  if (node.kind == PlanKind::kPrefer && under_setop) return true;
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    // The right side of a semijoin only qualifies tuples; prefer operators
+    // there never surface scores and are equally out of reach for
+    // result-level evaluation.
+    bool child_blocked = under_setop || is_setop ||
+                         (node.kind == PlanKind::kSemiJoin && i == 1);
+    if (HasPreferUnderSetOp(*node.children[i], child_blocked)) return true;
+  }
+  return false;
+}
+
+// Evaluates the prefer operators collected from an extended plan on a
+// materialized result relation, folding each preference's contribution into
+// one score relation keyed by the result's composite key. Sound because
+// every aggregate function is associative and commutative, so evaluating
+// the prefer operators in sequence on the final result is equivalent to
+// evaluating them at their original plan positions — provided no prefer
+// sat below a set operation (checked by the caller).
+StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs,
+                                         Relation result,
+                                         const AggregateFunction& agg,
+                                         Engine* engine) {
+  PRelation current(std::move(result));
+  for (const PreferencePtr& pref : prefs) {
+    ASSIGN_OR_RETURN(current,
+                     EvalPrefer(*pref, current, agg, &engine->catalog(),
+                                engine->mutable_stats()));
+  }
+  return current;
+}
+
+// ---------------------------------------------------------------------------
+// Filter-then-Prefer (paper Alg. 1).
+
+class FtPStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "FtP"; }
+
+  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
+                              Engine* engine) override {
+    if (HasPreferUnderSetOp(plan)) {
+      return Status::Unimplemented(
+          "FtP cannot evaluate prefer operators below set operations; "
+          "use BU or GBU");
+    }
+    // Extract and run the non-preference part Q_NP. The parser already
+    // projected every attribute the prefer operators need, so they can be
+    // evaluated directly on R_NP.
+    PlanPtr q_np = StripPrefers(plan);
+    ASSIGN_OR_RETURN(Relation r_np, engine->Execute(*q_np));
+    std::vector<PreferencePtr> prefs = CollectPrefers(plan);
+    return ApplyPrefersOnResult(prefs, std::move(r_np), agg, engine);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Bottom-Up: one extended operator at a time, everything materialized.
+
+class BUStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "BU"; }
+
+  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
+                              Engine* engine) override {
+    return Eval(plan, agg, engine);
+  }
+
+ private:
+  StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
+                           Engine* engine) {
+    ExecStats* stats = engine->mutable_stats();
+    switch (node.kind) {
+      case PlanKind::kScan: {
+        // Base access goes through the engine (one trivial query), like the
+        // prototype's UDFs reading base relations from the DBMS.
+        ASSIGN_OR_RETURN(Relation rel, engine->Execute(node));
+        return PRelation(std::move(rel));
+      }
+      case PlanKind::kSelect: {
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        return PSelect(*node.predicate, input, stats);
+      }
+      case PlanKind::kProject: {
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        return PProject(node.project_columns, input, stats);
+      }
+      case PlanKind::kJoin: {
+        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
+        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
+        return PJoin(*node.predicate, left, right, agg, stats);
+      }
+      case PlanKind::kSemiJoin: {
+        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
+        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
+        return PSemiJoin(*node.predicate, left, right, stats);
+      }
+      case PlanKind::kUnion: {
+        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
+        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
+        return PUnion(left, right, agg, stats);
+      }
+      case PlanKind::kIntersect: {
+        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
+        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
+        return PIntersect(left, right, agg, stats);
+      }
+      case PlanKind::kExcept: {
+        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
+        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
+        return PDiff(left, right, stats);
+      }
+      case PlanKind::kDistinct: {
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        return PDistinct(input, stats);
+      }
+      case PlanKind::kSort: {
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        return PSort(node.sort_keys, input, stats);
+      }
+      case PlanKind::kLimit: {
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        return PLimit(node.limit, input, stats);
+      }
+      case PlanKind::kPrefer: {
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
+                          stats);
+      }
+    }
+    return Status::Internal("unknown plan kind");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Group Bottom-Up (paper Alg. 2): defer and batch non-preference operators.
+
+class GBUStrategy final : public Strategy {
+ public:
+  std::string_view name() const override { return "GBU"; }
+
+  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
+                              Engine* engine) override {
+    temp_counter_ = 0;
+    StatusOr<PRelation> result = Eval(plan, agg, engine);
+    // Temporary relations are dropped regardless of success.
+    for (const std::string& name : temp_names_) {
+      engine->mutable_catalog()->DropTable(name);
+    }
+    temp_names_.clear();
+    return result;
+  }
+
+ private:
+  // A prefer-subtree result registered as a temporary table so the engine
+  // can reference it inside a grouped query.
+  struct TempInput {
+    std::string table_name;
+    std::vector<std::string> key_column_names;  // Full names, canonical order.
+    ScoreRelation scores;
+    bool contributes_scores = true;
+  };
+
+  StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
+                           Engine* engine) {
+    if (!node.ContainsPrefer()) {
+      // Maximal non-preference subtree: one grouped query to the engine.
+      ASSIGN_OR_RETURN(Relation rel, engine->Execute(node));
+      return PRelation(std::move(rel));
+    }
+    if (node.kind == PlanKind::kPrefer) {
+      ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+      return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
+                        engine->mutable_stats());
+    }
+
+    // An operator region above at least one prefer: clone the maximal
+    // non-prefer region rooted here, replacing each prefer-subtree with a
+    // scan of a freshly registered temporary table; delegate the region to
+    // the engine as a single query, then recombine the temporaries' score
+    // relations into the region output.
+    std::vector<TempInput> temps;
+    ASSIGN_OR_RETURN(PlanPtr region,
+                     CloneRegion(node, agg, engine, &temps,
+                                 /*score_contributing=*/true));
+    ASSIGN_OR_RETURN(Relation rel, engine->Execute(*region));
+
+    PRelation out(std::move(rel));
+    RETURN_IF_ERROR(RecombineScores(temps, agg, engine, &out));
+    return out;
+  }
+
+  // Clones `node`'s operator region. Children that contain prefer operators
+  // are evaluated recursively and replaced by temp-table scans; children
+  // without prefers stay in the region (the engine executes them as part of
+  // the same grouped query).
+  StatusOr<PlanPtr> CloneRegion(const PlanNode& node, const AggregateFunction& agg,
+                                Engine* engine, std::vector<TempInput>* temps,
+                                bool score_contributing) {
+    if (node.kind == PlanKind::kPrefer) {
+      ASSIGN_OR_RETURN(PRelation sub, Eval(node, agg, engine));
+      return RegisterTemp(std::move(sub), engine, temps, score_contributing);
+    }
+    if (!node.ContainsPrefer()) {
+      return node.Clone();
+    }
+    PlanPtr copy = node.Clone();
+    for (size_t i = 0; i < copy->children.size(); ++i) {
+      // Scores under the right side of a set difference or semijoin never
+      // reach the output (those operators keep left pairs only).
+      bool child_contributes =
+          score_contributing &&
+          !((node.kind == PlanKind::kExcept || node.kind == PlanKind::kSemiJoin) &&
+            i == 1);
+      ASSIGN_OR_RETURN(copy->children[i],
+                       CloneRegion(node.child(i), agg, engine, temps,
+                                   child_contributes));
+    }
+    return copy;
+  }
+
+  StatusOr<PlanPtr> RegisterTemp(PRelation sub, Engine* engine,
+                                 std::vector<TempInput>* temps,
+                                 bool score_contributing) {
+    std::string name = StrFormat("__gbu_tmp_%zu", ++temp_counter_);
+    TempInput temp;
+    temp.table_name = name;
+    temp.contributes_scores = score_contributing;
+    temp.scores = std::move(sub.scores);
+    for (size_t k : sub.rel.key_columns()) {
+      temp.key_column_names.push_back(sub.rel.schema().column(k).FullName());
+    }
+    // Keep the intermediate schema's qualifiers so predicates referring to
+    // the original relations still bind inside the grouped query.
+    ASSIGN_OR_RETURN(
+        std::unique_ptr<Table> table,
+        Table::Create(name, sub.rel.schema(), std::move(*sub.rel.mutable_rows()),
+                      temp.key_column_names, /*qualify_with_name=*/false));
+    RETURN_IF_ERROR(engine->mutable_catalog()->AddTable(std::move(table)));
+    temp_names_.push_back(name);
+    temps->push_back(std::move(temp));
+    return plan::Scan(name, name);
+  }
+
+  // Combines the temporaries' score relations into the region output: for
+  // each output row, look up each contributing temp by the values of its
+  // key columns (which survive every region operator) and fold with `agg`.
+  // This is the paper's two-step evaluation of joins/set operations on
+  // p-relations: conventional result first, then score combination.
+  Status RecombineScores(const std::vector<TempInput>& temps,
+                         const AggregateFunction& agg, Engine* engine,
+                         PRelation* out) {
+    struct ResolvedTemp {
+      const TempInput* temp;
+      std::vector<size_t> key_indices;
+    };
+    std::vector<ResolvedTemp> resolved;
+    for (const TempInput& temp : temps) {
+      if (!temp.contributes_scores || temp.scores.empty()) continue;
+      ResolvedTemp rt{&temp, {}};
+      bool all_found = true;
+      for (const std::string& key_name : temp.key_column_names) {
+        int idx = out->rel.schema().FindColumnOrNegative(key_name);
+        if (idx < 0) {
+          all_found = false;
+          break;
+        }
+        rt.key_indices.push_back(static_cast<size_t>(idx));
+      }
+      if (!all_found) {
+        return Status::Internal(
+            "GBU: temp key columns missing from region output (projection "
+            "dropped a key?)");
+      }
+      resolved.push_back(std::move(rt));
+    }
+    if (resolved.empty()) return Status::OK();
+
+    ExecStats* stats = engine->mutable_stats();
+    for (const Tuple& row : out->rel.rows()) {
+      ScoreConf pair;  // Identity.
+      for (const ResolvedTemp& rt : resolved) {
+        Tuple key = ProjectTuple(row, rt.key_indices);
+        pair = CombineCounted(agg, pair, rt.temp->scores.Lookup(key));
+      }
+      if (!pair.IsDefault()) {
+        out->scores.Set(out->rel.KeyOf(row), pair);
+        ++stats->score_entries_written;
+      }
+    }
+    return Status::OK();
+  }
+
+  size_t temp_counter_ = 0;
+  std::vector<std::string> temp_names_;
+};
+
+// ---------------------------------------------------------------------------
+// Plug-in baselines: rewrite - materialize - aggregate, strictly through the
+// engine facade (the DBMS is a black box; no operator-level integration).
+
+class PlugInStrategy final : public Strategy {
+ public:
+  explicit PlugInStrategy(bool combined) : combined_(combined) {}
+
+  std::string_view name() const override {
+    return combined_ ? "PlugInCombined" : "PlugInBasic";
+  }
+
+  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
+                              Engine* engine) override {
+    if (HasPreferUnderSetOp(plan)) {
+      return Status::Unimplemented(
+          "plug-in strategies cannot evaluate prefer operators below set "
+          "operations; use BU or GBU");
+    }
+    PlanPtr q_np = StripPrefers(plan);
+    std::vector<PreferencePtr> prefs = CollectPrefers(plan);
+
+    // Materialize the full (non-preference) answer.
+    ASSIGN_OR_RETURN(Relation r_np, engine->Execute(*q_np));
+    PRelation result(std::move(r_np));
+
+    ASSIGN_OR_RETURN(PlanShape np_shape,
+                     DerivePlanShape(*q_np, engine->catalog()));
+    if (combined_) {
+      return ExecuteCombined(std::move(result), *q_np, np_shape, prefs, agg,
+                             engine);
+    }
+    return ExecuteBasic(std::move(result), *q_np, np_shape, prefs, agg, engine);
+  }
+
+ private:
+  // Basic plug-in: one rewritten query per preference. Each rewrite embeds
+  // the preference's conditional part as a hard filter on Q_NP (Rewrite),
+  // is executed by the DBMS (Materialize), and its rows are scored and
+  // merged into the answer (Aggregate).
+  StatusOr<PRelation> ExecuteBasic(PRelation result, const PlanNode& q_np,
+                                   const PlanShape& np_shape,
+                                   const std::vector<PreferencePtr>& prefs,
+                                   const AggregateFunction& agg, Engine* engine) {
+    for (const PreferencePtr& pref : prefs) {
+      PlanPtr rewritten = q_np.Clone();
+      rewritten = plan::Select(pref->CloneCondition(), std::move(rewritten));
+      if (pref->membership() != nullptr) {
+        const MembershipSpec& m = *pref->membership();
+        ASSIGN_OR_RETURN(std::string local_full,
+                         ResolveFullName(np_shape, m.local_column));
+        rewritten = plan::SemiJoin(
+            eb_eq(local_full, m.member_relation + "." + m.member_column),
+            std::move(rewritten), plan::Scan(m.member_relation));
+      }
+      ASSIGN_OR_RETURN(Relation partial, engine->Execute(*rewritten));
+      RETURN_IF_ERROR(MergePartial(*pref, partial, agg, engine, &result));
+    }
+    return result;
+  }
+
+  // Combined plug-in: a single rewritten query whose filter is the
+  // disjunction of all (non-membership) preference conditions; rows of the
+  // combined result are then tested per preference client-side. Membership
+  // preferences are handled by materializing the member relation once.
+  StatusOr<PRelation> ExecuteCombined(PRelation result, const PlanNode& q_np,
+                                      const PlanShape& np_shape,
+                                      const std::vector<PreferencePtr>& prefs,
+                                      const AggregateFunction& agg,
+                                      Engine* engine) {
+    std::vector<const Preference*> plain;
+    std::vector<const Preference*> membership;
+    for (const PreferencePtr& pref : prefs) {
+      (pref->membership() == nullptr ? plain : membership).push_back(pref.get());
+    }
+
+    if (!plain.empty()) {
+      ExprPtr disjunction;
+      for (const Preference* pref : plain) {
+        ExprPtr cond = pref->CloneCondition();
+        disjunction = disjunction
+                          ? std::make_unique<LogicalExpr>(LogicalOp::kOr,
+                                                          std::move(disjunction),
+                                                          std::move(cond))
+                          : std::move(cond);
+      }
+      PlanPtr rewritten =
+          plan::Select(std::move(disjunction), q_np.Clone());
+      ASSIGN_OR_RETURN(Relation matched, engine->Execute(*rewritten));
+      for (const Preference* pref : plain) {
+        RETURN_IF_ERROR(MergePartial(*pref, matched, agg, engine, &result));
+      }
+    }
+
+    for (const Preference* pref : membership) {
+      const MembershipSpec& m = *pref->membership();
+      ASSIGN_OR_RETURN(std::string local_full,
+                       ResolveFullName(np_shape, m.local_column));
+      PlanPtr rewritten = plan::SemiJoin(
+          eb_eq(local_full, m.member_relation + "." + m.member_column),
+          plan::Select(pref->CloneCondition(), q_np.Clone()),
+          plan::Scan(m.member_relation));
+      ASSIGN_OR_RETURN(Relation partial, engine->Execute(*rewritten));
+      RETURN_IF_ERROR(MergePartial(*pref, partial, agg, engine, &result));
+    }
+    return result;
+  }
+
+  // Scores the rows of a partial (rewritten-query) result under `pref` and
+  // folds them into the final answer's score relation. Re-checks the
+  // conditional part, since the combined rewrite over-fetches (disjunction).
+  Status MergePartial(const Preference& pref, const Relation& partial,
+                      const AggregateFunction& agg, Engine* engine,
+                      PRelation* result) {
+    ExprPtr condition = pref.CloneCondition();
+    RETURN_IF_ERROR(condition->Bind(partial.schema()));
+    ScoringFunction scoring = pref.CloneScoring();
+    RETURN_IF_ERROR(scoring.Bind(partial.schema()));
+    ExecStats* stats = engine->mutable_stats();
+    for (const Tuple& row : partial.rows()) {
+      if (!IsTruthy(condition->Eval(row))) continue;
+      std::optional<double> score = scoring.Score(row);
+      if (!score.has_value()) continue;
+      Tuple key = partial.KeyOf(row);
+      ScoreConf combined = CombineCounted(agg, result->scores.Lookup(key),
+                                       ScoreConf::Known(*score, pref.confidence()));
+      result->scores.Set(key, combined);
+      ++stats->score_entries_written;
+    }
+    return Status::OK();
+  }
+
+  static StatusOr<std::string> ResolveFullName(const PlanShape& shape,
+                                               const std::string& column) {
+    ASSIGN_OR_RETURN(size_t idx, shape.schema.FindColumn(column));
+    return shape.schema.column(idx).FullName();
+  }
+
+  static ExprPtr eb_eq(const std::string& left, const std::string& right) {
+    return std::make_unique<ComparisonExpr>(
+        CompareOp::kEq, std::make_unique<ColumnRefExpr>(left),
+        std::make_unique<ColumnRefExpr>(right));
+  }
+
+  bool combined_;
+};
+
+}  // namespace
+
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kFtP:
+      return std::make_unique<FtPStrategy>();
+    case StrategyKind::kBU:
+      return std::make_unique<BUStrategy>();
+    case StrategyKind::kGBU:
+      return std::make_unique<GBUStrategy>();
+    case StrategyKind::kPlugInBasic:
+      return std::make_unique<PlugInStrategy>(false);
+    case StrategyKind::kPlugInCombined:
+      return std::make_unique<PlugInStrategy>(true);
+  }
+  return nullptr;
+}
+
+}  // namespace prefdb

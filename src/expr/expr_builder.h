@@ -1,0 +1,93 @@
+#ifndef PREFDB_EXPR_EXPR_BUILDER_H_
+#define PREFDB_EXPR_EXPR_BUILDER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace prefdb {
+/// Terse factory helpers for building expression trees in C++ (tests,
+/// examples, the workload builders). The parser is the other producer of
+/// expressions; both construct the same Expr nodes.
+namespace eb {
+
+inline ExprPtr Col(std::string name) {
+  return std::make_unique<ColumnRefExpr>(std::move(name));
+}
+
+inline ExprPtr Lit(int64_t v) { return std::make_unique<LiteralExpr>(Value::Int(v)); }
+inline ExprPtr Lit(double v) { return std::make_unique<LiteralExpr>(Value::Double(v)); }
+inline ExprPtr Lit(const char* v) {
+  return std::make_unique<LiteralExpr>(Value::String(v));
+}
+inline ExprPtr Lit(std::string v) {
+  return std::make_unique<LiteralExpr>(Value::String(std::move(v)));
+}
+inline ExprPtr Null() { return std::make_unique<LiteralExpr>(Value::Null()); }
+inline ExprPtr True() { return Lit(static_cast<int64_t>(1)); }
+
+inline ExprPtr Cmp(CompareOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<ComparisonExpr>(op, std::move(l), std::move(r));
+}
+inline ExprPtr Eq(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kEq, std::move(l), std::move(r));
+}
+inline ExprPtr Ne(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kNe, std::move(l), std::move(r));
+}
+inline ExprPtr Lt(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kLt, std::move(l), std::move(r));
+}
+inline ExprPtr Le(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kLe, std::move(l), std::move(r));
+}
+inline ExprPtr Gt(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kGt, std::move(l), std::move(r));
+}
+inline ExprPtr Ge(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kGe, std::move(l), std::move(r));
+}
+inline ExprPtr Like(ExprPtr l, ExprPtr r) {
+  return Cmp(CompareOp::kLike, std::move(l), std::move(r));
+}
+
+inline ExprPtr And(ExprPtr l, ExprPtr r) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kAnd, std::move(l), std::move(r));
+}
+inline ExprPtr Or(ExprPtr l, ExprPtr r) {
+  return std::make_unique<LogicalExpr>(LogicalOp::kOr, std::move(l), std::move(r));
+}
+inline ExprPtr Not(ExprPtr e) { return std::make_unique<NotExpr>(std::move(e)); }
+
+inline ExprPtr Add(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithmeticExpr>(ArithmeticOp::kAdd, std::move(l),
+                                          std::move(r));
+}
+inline ExprPtr Sub(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithmeticExpr>(ArithmeticOp::kSub, std::move(l),
+                                          std::move(r));
+}
+inline ExprPtr Mul(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithmeticExpr>(ArithmeticOp::kMul, std::move(l),
+                                          std::move(r));
+}
+inline ExprPtr Div(ExprPtr l, ExprPtr r) {
+  return std::make_unique<ArithmeticExpr>(ArithmeticOp::kDiv, std::move(l),
+                                          std::move(r));
+}
+
+inline ExprPtr Fn(std::string name, std::vector<ExprPtr> args) {
+  return std::make_unique<FunctionExpr>(std::move(name), std::move(args));
+}
+
+inline ExprPtr In(ExprPtr operand, std::vector<Value> values) {
+  return std::make_unique<InListExpr>(std::move(operand), std::move(values));
+}
+
+}  // namespace eb
+}  // namespace prefdb
+
+#endif  // PREFDB_EXPR_EXPR_BUILDER_H_

@@ -1,0 +1,213 @@
+#include "palgebra/filters.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+FilterSpec FilterSpec::TopK(size_t k, FilterTarget target) {
+  FilterSpec spec;
+  spec.kind = Kind::kTopK;
+  spec.k = k;
+  spec.target = target;
+  return spec;
+}
+
+FilterSpec FilterSpec::Threshold(FilterTarget target, double value, bool strict) {
+  FilterSpec spec;
+  spec.kind = Kind::kThreshold;
+  spec.target = target;
+  spec.threshold = value;
+  spec.strict = strict;
+  return spec;
+}
+
+FilterSpec FilterSpec::RankAll() {
+  FilterSpec spec;
+  spec.kind = Kind::kRankAll;
+  return spec;
+}
+
+FilterSpec FilterSpec::NotDominated() {
+  FilterSpec spec;
+  spec.kind = Kind::kNotDominated;
+  return spec;
+}
+
+FilterSpec FilterSpec::MinMatches(size_t k) {
+  FilterSpec spec;
+  spec.kind = Kind::kMinMatches;
+  spec.k = k;
+  return spec;
+}
+
+std::string FilterSpec::ToString() const {
+  const char* target_name = target == FilterTarget::kScore ? "score" : "conf";
+  switch (kind) {
+    case Kind::kTopK:
+      return StrFormat("top(%zu, %s)", k, target_name);
+    case Kind::kThreshold:
+      return StrFormat("%s %s %.3f", target_name, strict ? ">" : ">=", threshold);
+    case Kind::kRankAll:
+      return "ranked";
+    case Kind::kNotDominated:
+      return "not-dominated";
+    case Kind::kMinMatches:
+      return StrFormat("matches >= %zu", k);
+  }
+  return "?";
+}
+
+namespace {
+
+// The sort value of a tuple for `target`: unknown scores (NULL) rank as
+// -infinity so they fall below every known score.
+double TargetValue(const Tuple& row, size_t score_idx, size_t conf_idx,
+                   FilterTarget target) {
+  if (target == FilterTarget::kConf) {
+    const Value& v = row[conf_idx];
+    return v.is_numeric() ? v.NumericValue() : 0.0;
+  }
+  const Value& v = row[score_idx];
+  if (!v.is_numeric()) return -std::numeric_limits<double>::infinity();
+  return v.NumericValue();
+}
+
+Status FindScoreColumns(const Relation& scored, size_t* score_idx,
+                        size_t* conf_idx) {
+  ASSIGN_OR_RETURN(*score_idx, scored.schema().FindColumn("score"));
+  ASSIGN_OR_RETURN(*conf_idx, scored.schema().FindColumn("conf"));
+  return Status::OK();
+}
+
+// Sorts rows by (primary desc, secondary desc, key asc) where
+// primary/secondary are score/conf values. The trailing key comparison
+// makes the order — and therefore any top-k cutoff — fully deterministic,
+// independent of the row order the executing strategy happened to produce.
+void SortScored(Relation* rel, size_t score_idx, size_t conf_idx,
+                FilterTarget primary) {
+  FilterTarget secondary =
+      primary == FilterTarget::kScore ? FilterTarget::kConf : FilterTarget::kScore;
+  const std::vector<size_t>& keys = rel->key_columns();
+  std::stable_sort(
+      rel->mutable_rows()->begin(), rel->mutable_rows()->end(),
+      [&](const Tuple& a, const Tuple& b) {
+        double pa = TargetValue(a, score_idx, conf_idx, primary);
+        double pb = TargetValue(b, score_idx, conf_idx, primary);
+        if (pa != pb) return pa > pb;
+        double sa = TargetValue(a, score_idx, conf_idx, secondary);
+        double sb = TargetValue(b, score_idx, conf_idx, secondary);
+        if (sa != sb) return sa > sb;
+        for (size_t k : keys) {
+          int c = a[k].Compare(b[k]);
+          if (c != 0) return c < 0;
+        }
+        return false;
+      });
+}
+
+}  // namespace
+
+StatusOr<Relation> ApplyFilter(const Relation& scored, const FilterSpec& spec) {
+  size_t score_idx = 0;
+  size_t conf_idx = 0;
+  RETURN_IF_ERROR(FindScoreColumns(scored, &score_idx, &conf_idx));
+  Relation out = scored;
+
+  switch (spec.kind) {
+    case FilterSpec::Kind::kTopK: {
+      SortScored(&out, score_idx, conf_idx, spec.target);
+      if (out.NumRows() > spec.k) out.mutable_rows()->resize(spec.k);
+      return out;
+    }
+    case FilterSpec::Kind::kThreshold: {
+      Relation filtered(out.schema());
+      filtered.set_key_columns(out.key_columns());
+      for (Tuple& row : *out.mutable_rows()) {
+        double v = TargetValue(row, score_idx, conf_idx, spec.target);
+        bool pass = spec.strict ? v > spec.threshold : v >= spec.threshold;
+        if (pass) filtered.AddRow(std::move(row));
+      }
+      return filtered;
+    }
+    case FilterSpec::Kind::kRankAll: {
+      SortScored(&out, score_idx, conf_idx, FilterTarget::kScore);
+      return out;
+    }
+    case FilterSpec::Kind::kMinMatches:
+      return Status::InvalidArgument(
+          "matches filters apply to p-relations; use ApplyFilters");
+    case FilterSpec::Kind::kNotDominated: {
+      // 2-d skyline over (score, conf), maximizing both: sort by score desc
+      // (conf desc as tiebreak), then a tuple survives iff its conf exceeds
+      // the best conf seen so far (equal (score, conf) duplicates survive
+      // together, matching set semantics of winnow).
+      SortScored(&out, score_idx, conf_idx, FilterTarget::kScore);
+      Relation skyline(out.schema());
+      skyline.set_key_columns(out.key_columns());
+      double best_conf = -std::numeric_limits<double>::infinity();
+      double best_conf_score = 0.0;
+      for (Tuple& row : *out.mutable_rows()) {
+        double score = TargetValue(row, score_idx, conf_idx, FilterTarget::kScore);
+        double conf = TargetValue(row, score_idx, conf_idx, FilterTarget::kConf);
+        bool keep;
+        if (conf > best_conf) {
+          keep = true;
+        } else if (conf == best_conf && score == best_conf_score) {
+          keep = true;  // Exact duplicate of a skyline point.
+        } else {
+          keep = false;
+        }
+        if (keep) {
+          if (conf > best_conf) {
+            best_conf = conf;
+            best_conf_score = score;
+          }
+          skyline.AddRow(std::move(row));
+        }
+      }
+      return skyline;
+    }
+  }
+  return Status::Internal("unknown filter kind");
+}
+
+PRelation FilterByMinMatches(const PRelation& input, size_t min_matches) {
+  PRelation out;
+  out.rel = Relation(input.rel.schema());
+  out.rel.set_key_columns(input.rel.key_columns());
+  for (const Tuple& row : input.rel.rows()) {
+    const ScoreConf& pair = input.ScoreOf(row);
+    if (pair.count() >= min_matches) {
+      out.rel.AddRow(row);
+      Tuple key = out.rel.KeyOf(row);
+      if (!pair.IsDefault()) out.scores.Set(key, pair);
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> ApplyFilters(const PRelation& input,
+                                const std::vector<FilterSpec>& specs) {
+  // Match-count filters act on the p-relation itself (the count lives in
+  // the score relation); apply them first, then the scored-form filters in
+  // their written order.
+  const PRelation* current = &input;
+  PRelation counted;
+  for (const FilterSpec& spec : specs) {
+    if (spec.kind == FilterSpec::Kind::kMinMatches) {
+      counted = FilterByMinMatches(*current, spec.k);
+      current = &counted;
+    }
+  }
+  Relation scored = ToScoredRelation(*current);
+  for (const FilterSpec& spec : specs) {
+    if (spec.kind == FilterSpec::Kind::kMinMatches) continue;
+    ASSIGN_OR_RETURN(scored, ApplyFilter(scored, spec));
+  }
+  return scored;
+}
+
+}  // namespace prefdb

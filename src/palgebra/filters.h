@@ -1,0 +1,66 @@
+#ifndef PREFDB_PALGEBRA_FILTERS_H_
+#define PREFDB_PALGEBRA_FILTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "palgebra/p_relation.h"
+
+namespace prefdb {
+
+/// Which of the two preference dimensions a filter targets.
+enum class FilterTarget { kScore, kConf };
+
+/// Tuple-filtering strategies (paper §V). Preference *evaluation* computes
+/// scores and confidences without disqualifying tuples; *filtering*
+/// conceptually follows it and decides what to return: the top-k by score
+/// (RankSQL-style), only sufficiently credible tuples (confidence
+/// thresholds), everything ranked, or the tuples not dominated in the
+/// (score, confidence) plane (winnow-style serendipity: "may be liked,
+/// lower confidence").
+struct FilterSpec {
+  enum class Kind {
+    kTopK,         // top(k, score|conf): order by target desc, keep k.
+    kThreshold,    // σ_{target >= τ} (or > τ).
+    kRankAll,      // order all results by score desc (conf breaks ties).
+    kNotDominated, // 2-d skyline over (score, conf).
+    kMinMatches    // keep tuples matched by at least k preferences (§V).
+  };
+
+  Kind kind = Kind::kRankAll;
+  FilterTarget target = FilterTarget::kScore;  // kTopK / kThreshold.
+  size_t k = 10;                               // kTopK.
+  bool strict = false;                         // kThreshold: > vs >=.
+  double threshold = 0.0;                      // kThreshold.
+
+  static FilterSpec TopK(size_t k, FilterTarget target = FilterTarget::kScore);
+  static FilterSpec Threshold(FilterTarget target, double value,
+                              bool strict = false);
+  static FilterSpec RankAll();
+  static FilterSpec NotDominated();
+  static FilterSpec MinMatches(size_t k);
+
+  std::string ToString() const;
+};
+
+/// Applies one filter to a scored relation (a relation with trailing
+/// `score` and `conf` columns, as produced by ToScoredRelation). Tuples
+/// with unknown score (NULL) rank below every known score and fail any
+/// score threshold.
+StatusOr<Relation> ApplyFilter(const Relation& scored, const FilterSpec& spec);
+
+/// Converts the p-relation to scored form and applies `specs` in order.
+/// kMinMatches specs are applied first, directly on the p-relation (the
+/// match count lives in the score relation, not in the scored columns).
+StatusOr<Relation> ApplyFilters(const PRelation& input,
+                                const std::vector<FilterSpec>& specs);
+
+/// Keeps the tuples whose pair was contributed by at least `min_matches`
+/// preference applications (the paper's "satisfy a minimum number of
+/// preferences" strategy, §V).
+PRelation FilterByMinMatches(const PRelation& input, size_t min_matches);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PALGEBRA_FILTERS_H_

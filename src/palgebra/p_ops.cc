@@ -1,0 +1,441 @@
+#include "palgebra/p_ops.h"
+
+#include <algorithm>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "plan/plan.h"
+
+namespace prefdb {
+
+namespace {
+
+// Copies the score entries of surviving rows from `input` into `out`.
+// Used by operators that drop tuples (select, semijoin, set difference).
+void CarryScores(const PRelation& input, PRelation* out, ExecStats* stats) {
+  out->scores.Reserve(std::min(input.scores.size(), out->rel.NumRows()));
+  for (const Tuple& row : out->rel.rows()) {
+    Tuple key = out->rel.KeyOf(row);
+    const ScoreConf& pair = input.scores.Lookup(key);
+    if (!pair.IsDefault()) {
+      out->scores.Set(key, pair);
+      ++stats->score_entries_written;
+    }
+  }
+}
+
+// Finds an equality conjunct usable for a hash join between the two sides
+// (mirrors the native executor's strategy).
+bool FindEquiConjunct(const Expr& predicate, const Schema& left,
+                      const Schema& right, std::string* left_col,
+                      std::string* right_col) {
+  if (predicate.kind() == ExprKind::kLogical) {
+    const auto& logical = static_cast<const LogicalExpr&>(predicate);
+    if (logical.op() != LogicalOp::kAnd) return false;
+    return FindEquiConjunct(logical.left(), left, right, left_col, right_col) ||
+           FindEquiConjunct(logical.right(), left, right, left_col, right_col);
+  }
+  if (predicate.kind() != ExprKind::kComparison) return false;
+  const auto& cmp = static_cast<const ComparisonExpr&>(predicate);
+  if (cmp.op() != CompareOp::kEq) return false;
+  if (cmp.left().kind() != ExprKind::kColumnRef ||
+      cmp.right().kind() != ExprKind::kColumnRef) {
+    return false;
+  }
+  const std::string& a = static_cast<const ColumnRefExpr&>(cmp.left()).name();
+  const std::string& b = static_cast<const ColumnRefExpr&>(cmp.right()).name();
+  if (left.HasColumn(a) && right.HasColumn(b)) {
+    *left_col = a;
+    *right_col = b;
+    return true;
+  }
+  if (left.HasColumn(b) && right.HasColumn(a)) {
+    *left_col = b;
+    *right_col = a;
+    return true;
+  }
+  return false;
+}
+
+Status CheckSetCompatible(const PRelation& left, const PRelation& right) {
+  if (left.rel.schema().size() != right.rel.schema().size()) {
+    return Status::InvalidArgument("set operation inputs differ in arity");
+  }
+  if (left.rel.key_columns() != right.rel.key_columns()) {
+    return Status::InvalidArgument("set operation inputs differ in keys");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
+                            ExecStats* stats) {
+  ++stats->operator_invocations;
+  ExprPtr bound = predicate.Clone();
+  RETURN_IF_ERROR(bound->Bind(input.rel.schema()));
+  PRelation out;
+  out.rel = Relation(input.rel.schema());
+  out.rel.set_key_columns(input.rel.key_columns());
+  for (const Tuple& row : input.rel.rows()) {
+    if (IsTruthy(bound->Eval(row))) out.rel.AddRow(row);
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  CarryScores(input, &out, stats);
+  return out;
+}
+
+StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
+                             const PRelation& input, ExecStats* stats) {
+  ++stats->operator_invocations;
+  PlanShape shape{input.rel.schema(), input.rel.key_columns()};
+  ASSIGN_OR_RETURN(ProjectionResolution res, ResolveProjection(shape, columns));
+  PRelation out;
+  out.rel = Relation(input.rel.schema().Select(res.indices));
+  out.rel.set_key_columns(res.key_positions);
+  out.rel.Reserve(input.rel.NumRows());
+  for (const Tuple& row : input.rel.rows()) {
+    out.rel.AddRow(ProjectTuple(row, res.indices));
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  // The key column *set* is preserved by construction, but the canonical
+  // (ascending-position) key order can change when projection permutes
+  // columns, so the score map is re-keyed under that permutation.
+  // perm[i] = position, within the input key order, of the column that the
+  // i-th output key column came from.
+  const std::vector<size_t>& in_keys = input.rel.key_columns();
+  const std::vector<size_t>& out_keys = out.rel.key_columns();
+  std::vector<size_t> perm(out_keys.size());
+  bool identity = true;
+  for (size_t i = 0; i < out_keys.size(); ++i) {
+    size_t source_col = res.indices[out_keys[i]];
+    auto it = std::find(in_keys.begin(), in_keys.end(), source_col);
+    if (it == in_keys.end()) {
+      return Status::Internal("projection lost a key column");
+    }
+    perm[i] = static_cast<size_t>(it - in_keys.begin());
+    if (perm[i] != i) identity = false;
+  }
+  if (identity) {
+    out.scores = input.scores;
+  } else {
+    out.scores.Reserve(input.scores.size());
+    for (const auto& [key, pair] : input.scores.entries()) {
+      Tuple permuted(perm.size());
+      for (size_t i = 0; i < perm.size(); ++i) permuted[i] = key[perm[i]];
+      out.scores.Set(permuted, pair);
+      ++stats->score_entries_written;
+    }
+  }
+  return out;
+}
+
+StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
+                          const PRelation& right, const AggregateFunction& agg,
+                          ExecStats* stats) {
+  ++stats->operator_invocations;
+  Schema combined = left.rel.schema().Concat(right.rel.schema());
+  ExprPtr bound = predicate.Clone();
+  RETURN_IF_ERROR(bound->Bind(combined));
+
+  PRelation out;
+  out.rel = Relation(combined);
+  std::vector<size_t> keys = left.rel.key_columns();
+  for (size_t k : right.rel.key_columns()) {
+    keys.push_back(k + left.rel.schema().size());
+  }
+  out.rel.set_key_columns(std::move(keys));
+
+  auto emit = [&](const Tuple& lrow, const Tuple& rrow, Tuple joined) {
+    ScoreConf pair = CombineCounted(agg, left.ScoreOf(lrow), right.ScoreOf(rrow));
+    out.rel.AddRow(std::move(joined));
+    if (!pair.IsDefault()) {
+      out.scores.Set(out.rel.KeyOf(out.rel.rows().back()), pair);
+      ++stats->score_entries_written;
+    }
+  };
+
+  std::string left_col;
+  std::string right_col;
+  if (FindEquiConjunct(predicate, left.rel.schema(), right.rel.schema(),
+                       &left_col, &right_col)) {
+    ASSIGN_OR_RETURN(size_t li, left.rel.schema().FindColumn(left_col));
+    ASSIGN_OR_RETURN(size_t ri, right.rel.schema().FindColumn(right_col));
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> build;
+    build.reserve(right.rel.NumRows());
+    const std::vector<Tuple>& rrows = right.rel.rows();
+    for (size_t i = 0; i < rrows.size(); ++i) {
+      build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
+    }
+    for (const Tuple& lrow : left.rel.rows()) {
+      auto it = build.find(lrow[li]);
+      if (it == build.end()) continue;
+      for (uint32_t pos : it->second) {
+        Tuple joined = ConcatTuples(lrow, rrows[pos]);
+        if (IsTruthy(bound->Eval(joined))) {
+          emit(lrow, rrows[pos], std::move(joined));
+        }
+      }
+    }
+  } else {
+    for (const Tuple& lrow : left.rel.rows()) {
+      for (const Tuple& rrow : right.rel.rows()) {
+        Tuple joined = ConcatTuples(lrow, rrow);
+        if (IsTruthy(bound->Eval(joined))) {
+          emit(lrow, rrow, std::move(joined));
+        }
+      }
+    }
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  return out;
+}
+
+StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
+                              const PRelation& right, ExecStats* stats) {
+  ++stats->operator_invocations;
+  Schema combined = left.rel.schema().Concat(right.rel.schema());
+  ExprPtr bound = predicate.Clone();
+  RETURN_IF_ERROR(bound->Bind(combined));
+
+  PRelation out;
+  out.rel = Relation(left.rel.schema());
+  out.rel.set_key_columns(left.rel.key_columns());
+
+  std::string left_col;
+  std::string right_col;
+  if (FindEquiConjunct(predicate, left.rel.schema(), right.rel.schema(),
+                       &left_col, &right_col)) {
+    ASSIGN_OR_RETURN(size_t li, left.rel.schema().FindColumn(left_col));
+    ASSIGN_OR_RETURN(size_t ri, right.rel.schema().FindColumn(right_col));
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> build;
+    const std::vector<Tuple>& rrows = right.rel.rows();
+    for (size_t i = 0; i < rrows.size(); ++i) {
+      build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
+    }
+    for (const Tuple& lrow : left.rel.rows()) {
+      auto it = build.find(lrow[li]);
+      if (it == build.end()) continue;
+      for (uint32_t pos : it->second) {
+        Tuple joined = ConcatTuples(lrow, rrows[pos]);
+        if (IsTruthy(bound->Eval(joined))) {
+          out.rel.AddRow(lrow);
+          break;
+        }
+      }
+    }
+  } else {
+    for (const Tuple& lrow : left.rel.rows()) {
+      for (const Tuple& rrow : right.rel.rows()) {
+        Tuple joined = ConcatTuples(lrow, rrow);
+        if (IsTruthy(bound->Eval(joined))) {
+          out.rel.AddRow(lrow);
+          break;
+        }
+      }
+    }
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  CarryScores(left, &out, stats);
+  return out;
+}
+
+StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
+                           const AggregateFunction& agg, ExecStats* stats) {
+  ++stats->operator_invocations;
+  RETURN_IF_ERROR(CheckSetCompatible(left, right));
+  PRelation out;
+  out.rel = Relation(left.rel.schema());
+  out.rel.set_key_columns(left.rel.key_columns());
+
+  std::unordered_set<Tuple, TupleHash, TupleEq> right_set(right.rel.rows().begin(),
+                                                          right.rel.rows().end());
+  std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
+  for (const Tuple& row : left.rel.rows()) {
+    if (!emitted.insert(row).second) continue;
+    out.rel.AddRow(row);
+    ScoreConf pair = left.ScoreOf(row);
+    if (right_set.count(row) > 0) {
+      pair = CombineCounted(agg, pair, right.ScoreOf(row));
+    }
+    if (!pair.IsDefault()) {
+      out.scores.Set(out.rel.KeyOf(row), pair);
+      ++stats->score_entries_written;
+    }
+  }
+  for (const Tuple& row : right.rel.rows()) {
+    if (!emitted.insert(row).second) continue;
+    out.rel.AddRow(row);
+    const ScoreConf& pair = right.ScoreOf(row);
+    if (!pair.IsDefault()) {
+      out.scores.Set(out.rel.KeyOf(row), pair);
+      ++stats->score_entries_written;
+    }
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  return out;
+}
+
+StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
+                               const AggregateFunction& agg, ExecStats* stats) {
+  ++stats->operator_invocations;
+  RETURN_IF_ERROR(CheckSetCompatible(left, right));
+  PRelation out;
+  out.rel = Relation(left.rel.schema());
+  out.rel.set_key_columns(left.rel.key_columns());
+
+  std::unordered_set<Tuple, TupleHash, TupleEq> right_set(right.rel.rows().begin(),
+                                                          right.rel.rows().end());
+  std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
+  for (const Tuple& row : left.rel.rows()) {
+    if (right_set.count(row) == 0) continue;
+    if (!emitted.insert(row).second) continue;
+    out.rel.AddRow(row);
+    ScoreConf pair = CombineCounted(agg, left.ScoreOf(row), right.ScoreOf(row));
+    if (!pair.IsDefault()) {
+      out.scores.Set(out.rel.KeyOf(row), pair);
+      ++stats->score_entries_written;
+    }
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  return out;
+}
+
+StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
+                          ExecStats* stats) {
+  ++stats->operator_invocations;
+  RETURN_IF_ERROR(CheckSetCompatible(left, right));
+  PRelation out;
+  out.rel = Relation(left.rel.schema());
+  out.rel.set_key_columns(left.rel.key_columns());
+  std::unordered_set<Tuple, TupleHash, TupleEq> right_set(right.rel.rows().begin(),
+                                                          right.rel.rows().end());
+  std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
+  for (const Tuple& row : left.rel.rows()) {
+    if (right_set.count(row) > 0) continue;
+    if (!emitted.insert(row).second) continue;
+    out.rel.AddRow(row);
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  CarryScores(left, &out, stats);
+  return out;
+}
+
+StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats) {
+  ++stats->operator_invocations;
+  PRelation out;
+  out.rel = Relation(input.rel.schema());
+  out.rel.set_key_columns(input.rel.key_columns());
+  std::unordered_set<Tuple, TupleHash, TupleEq> seen;
+  seen.reserve(input.rel.NumRows());
+  for (const Tuple& row : input.rel.rows()) {
+    if (seen.insert(row).second) out.rel.AddRow(row);
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  CarryScores(input, &out, stats);
+  return out;
+}
+
+StatusOr<PRelation> PSort(const std::vector<SortKey>& keys,
+                          const PRelation& input, ExecStats* stats) {
+  ++stats->operator_invocations;
+  struct ResolvedKey {
+    size_t index;
+    bool descending;
+  };
+  std::vector<ResolvedKey> resolved;
+  resolved.reserve(keys.size());
+  for (const SortKey& k : keys) {
+    ASSIGN_OR_RETURN(size_t idx, input.rel.schema().FindColumn(k.column));
+    resolved.push_back({idx, k.descending});
+  }
+  PRelation out = input;
+  // Tie-break on the relation key for deterministic order (see ExecSort).
+  const std::vector<size_t>& pk = out.rel.key_columns();
+  std::stable_sort(out.rel.mutable_rows()->begin(), out.rel.mutable_rows()->end(),
+                   [&resolved, &pk](const Tuple& a, const Tuple& b) {
+                     for (const ResolvedKey& k : resolved) {
+                       int c = a[k.index].Compare(b[k.index]);
+                       if (c != 0) return k.descending ? c > 0 : c < 0;
+                     }
+                     for (size_t k : pk) {
+                       int c = a[k].Compare(b[k]);
+                       if (c != 0) return c < 0;
+                     }
+                     return false;
+                   });
+  stats->tuples_materialized += out.rel.NumRows();
+  return out;
+}
+
+StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats) {
+  ++stats->operator_invocations;
+  PRelation out;
+  out.rel = Relation(input.rel.schema());
+  out.rel.set_key_columns(input.rel.key_columns());
+  size_t count = std::min(n, input.rel.NumRows());
+  out.rel.Reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.rel.AddRow(input.rel.rows()[i]);
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  CarryScores(input, &out, stats);
+  return out;
+}
+
+StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
+                               const AggregateFunction& agg,
+                               const Catalog* catalog, ExecStats* stats) {
+  ++stats->operator_invocations;
+  ExprPtr condition = pref.CloneCondition();
+  RETURN_IF_ERROR(condition->Bind(input.rel.schema()));
+  ScoringFunction scoring = pref.CloneScoring();
+  RETURN_IF_ERROR(scoring.Bind(input.rel.schema()));
+
+  // Membership preferences additionally require a join partner in the
+  // member relation; build the probe set once.
+  std::unordered_set<Value, ValueHash> member_keys;
+  int local_col = -1;
+  if (pref.membership() != nullptr) {
+    const MembershipSpec& spec = *pref.membership();
+    if (catalog == nullptr) {
+      return Status::InvalidArgument(
+          "membership preference requires catalog access: " + pref.name());
+    }
+    ASSIGN_OR_RETURN(Table * member, catalog->GetTable(spec.member_relation));
+    ASSIGN_OR_RETURN(size_t member_idx,
+                     member->schema().FindColumn(spec.member_column));
+    ASSIGN_OR_RETURN(size_t local_idx,
+                     input.rel.schema().FindColumn(spec.local_column));
+    local_col = static_cast<int>(local_idx);
+    member_keys.reserve(member->NumRows());
+    for (const Tuple& row : member->relation().rows()) {
+      member_keys.insert(row[member_idx]);
+    }
+    stats->rows_scanned += member->NumRows();
+  }
+
+  PRelation out;
+  out.rel = input.rel;
+  out.scores = input.scores;
+  for (const Tuple& row : out.rel.rows()) {
+    if (local_col >= 0 &&
+        member_keys.count(row[static_cast<size_t>(local_col)]) == 0) {
+      continue;  // Membership not satisfied: tuple unaffected.
+    }
+    if (!IsTruthy(condition->Eval(row))) continue;
+    std::optional<double> score = scoring.Score(row);
+    if (!score.has_value()) continue;  // S(r) = ⊥ contributes nothing.
+    ScoreConf contributed = ScoreConf::Known(*score, pref.confidence());
+    Tuple key = out.rel.KeyOf(row);
+    ScoreConf combined = CombineCounted(agg, out.scores.Lookup(key), contributed);
+    out.scores.Set(key, combined);
+    ++stats->score_entries_written;
+  }
+  stats->tuples_materialized += out.rel.NumRows();
+  return out;
+}
+
+}  // namespace prefdb

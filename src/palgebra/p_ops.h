@@ -1,0 +1,82 @@
+#ifndef PREFDB_PALGEBRA_P_OPS_H_
+#define PREFDB_PALGEBRA_P_OPS_H_
+
+#include "engine/exec_stats.h"
+#include "palgebra/p_relation.h"
+#include "plan/plan.h"
+#include "prefs/agg_func.h"
+#include "prefs/preference.h"
+#include "storage/catalog.h"
+
+namespace prefdb {
+
+/// Physical implementations of the extended relational operators over
+/// p-relations (paper §IV-B) and of the prefer operator λ_{p,F}
+/// (paper §IV-C). These are the "user defined functions" of the paper's
+/// prototype: they run in the middle layer, outside the native engine,
+/// against materialized inputs.
+///
+/// All operators maintain the score relations: only non-default pairs are
+/// stored, keys follow the relation's canonical key order, and binary
+/// operators combine pairs with the aggregate function `F`.
+
+/// σ_φ over a p-relation: hard boolean filter; surviving tuples keep their
+/// pairs (score entries of dropped tuples are pruned).
+StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
+                            ExecStats* stats);
+
+/// π over a p-relation: projects columns, implicitly preserving the key
+/// columns (and thereby scores and confidences, paper §IV-B).
+StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
+                             const PRelation& input, ExecStats* stats);
+
+/// Inner join ⋈_{φ,F}: joins tuples and combines their pairs with `F`
+/// (paper Fig. 3). The output key is the concatenation of the input keys.
+StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
+                          const PRelation& right, const AggregateFunction& agg,
+                          ExecStats* stats);
+
+/// Left semijoin ⋉_φ: keeps left tuples with at least one match; left pairs
+/// are kept unchanged (the right side only qualifies tuples).
+StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
+                              const PRelation& right, ExecStats* stats);
+
+/// Set union ∪_F with duplicate elimination; pairs of tuples present in
+/// both inputs are combined with `F`.
+StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
+                           const AggregateFunction& agg, ExecStats* stats);
+
+/// Set intersection ∩_F; pairs combined with `F`.
+StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
+                               const AggregateFunction& agg, ExecStats* stats);
+
+/// Set difference: tuples of `left` not in `right`, keeping left pairs.
+StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
+                          ExecStats* stats);
+
+/// Duplicate elimination over a p-relation (pairs unaffected: duplicate
+/// tuples share a key and therefore a pair).
+StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats);
+
+/// ORDER BY over a p-relation (pairs unaffected).
+StatusOr<PRelation> PSort(const std::vector<SortKey>& keys,
+                          const PRelation& input, ExecStats* stats);
+
+/// First-n over a p-relation; pairs of dropped tuples are pruned.
+StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats);
+
+/// The prefer operator λ_{p,F} (paper Def. in §IV-C): evaluates preference
+/// `pref` on the p-relation. For every tuple satisfying the conditional
+/// part, the contributed pair ⟨S(r), C⟩ is combined with the tuple's
+/// current pair using `F`; other tuples pass through unchanged. Never
+/// filters tuples.
+///
+/// `catalog` is needed only for membership preferences (to probe the member
+/// relation); it may be null otherwise.
+StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
+                               const AggregateFunction& agg,
+                               const Catalog* catalog, ExecStats* stats);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PALGEBRA_P_OPS_H_

@@ -1,0 +1,40 @@
+#include "palgebra/p_relation.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+std::string PRelation::ToString(size_t max_rows) const {
+  std::string out = rel.schema().ToString() +
+                    StrFormat(" [%zu rows, %zu scored]\n", rel.NumRows(),
+                              scores.size());
+  size_t shown = 0;
+  for (const Tuple& row : rel.rows()) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("  ... (%zu more)\n", rel.NumRows() - max_rows);
+      break;
+    }
+    out += "  " + TupleToString(row) + " " + ScoreOf(row).ToString() + "\n";
+  }
+  return out;
+}
+
+Relation ToScoredRelation(const PRelation& input) {
+  Schema schema = input.rel.schema();
+  schema.AddColumn(Column{"", "score", ValueType::kDouble});
+  schema.AddColumn(Column{"", "conf", ValueType::kDouble});
+  Relation out(std::move(schema));
+  out.set_key_columns(input.rel.key_columns());
+  out.Reserve(input.rel.NumRows());
+  for (const Tuple& row : input.rel.rows()) {
+    const ScoreConf& pair = input.ScoreOf(row);
+    Tuple extended = row;
+    extended.push_back(pair.has_score() ? Value::Double(pair.score())
+                                        : Value::Null());
+    extended.push_back(Value::Double(pair.conf()));
+    out.AddRow(std::move(extended));
+  }
+  return out;
+}
+
+}  // namespace prefdb

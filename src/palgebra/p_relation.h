@@ -1,0 +1,43 @@
+#ifndef PREFDB_PALGEBRA_P_RELATION_H_
+#define PREFDB_PALGEBRA_P_RELATION_H_
+
+#include <string>
+
+#include "palgebra/score_relation.h"
+#include "types/relation.h"
+
+namespace prefdb {
+
+/// A p-relation (paper Def. 2): a relation whose tuples carry score and
+/// confidence. Physically the pairs live in a side score-relation keyed by
+/// the relation's (composite) primary key, so untouched tuples cost nothing
+/// (paper §VI). The pair of a tuple absent from `scores` is ⟨⊥, 0⟩.
+struct PRelation {
+  Relation rel;
+  ScoreRelation scores;
+
+  PRelation() = default;
+  explicit PRelation(Relation relation) : rel(std::move(relation)) {}
+  PRelation(Relation relation, ScoreRelation score_rel)
+      : rel(std::move(relation)), scores(std::move(score_rel)) {}
+
+  /// The score/confidence pair of `row` (which must belong to `rel`).
+  const ScoreConf& ScoreOf(const Tuple& row) const {
+    return scores.Lookup(rel.KeyOf(row));
+  }
+
+  size_t NumRows() const { return rel.NumRows(); }
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+/// Materializes the p-relation as a plain relation with two appended
+/// columns, `score` (DOUBLE; NULL when the pair is ⟨⊥, 0⟩) and `conf`
+/// (DOUBLE). This is the boundary between the preference layer and plain
+/// relational consumers: result presentation and the filtering operators
+/// (top-k, thresholds) work on this form.
+Relation ToScoredRelation(const PRelation& input);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PALGEBRA_P_RELATION_H_

@@ -1,0 +1,22 @@
+#include "palgebra/score_relation.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+const ScoreConf ScoreRelation::kDefault = ScoreConf();
+
+std::string ScoreRelation::ToString(size_t max_entries) const {
+  std::string out = StrFormat("ScoreRelation [%zu entries]\n", map_.size());
+  size_t shown = 0;
+  for (const auto& [key, pair] : map_) {
+    if (shown++ >= max_entries) {
+      out += StrFormat("  ... (%zu more)\n", map_.size() - max_entries);
+      break;
+    }
+    out += "  " + TupleToString(key) + " -> " + pair.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,61 @@
+#ifndef PREFDB_PALGEBRA_SCORE_RELATION_H_
+#define PREFDB_PALGEBRA_SCORE_RELATION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "prefs/score_conf.h"
+#include "types/tuple.h"
+
+namespace prefdb {
+
+/// The side-table implementation of p-relation scores (paper §VI,
+/// "Implementing p-relations"): for a relation R with primary key pk, the
+/// score relation R_P(pk, score, conf) holds the score/confidence pairs of
+/// tuples with *non-default* pairs only, so |R_P| <= |R|. A lookup miss
+/// yields the default pair ⟨⊥, 0⟩.
+///
+/// Keys are tuples of the owning relation's key-column values, in the
+/// relation's canonical key order; after a join the key is the
+/// concatenation of the inputs' keys, exactly as the paper composes score
+/// relations over joins and set operations.
+class ScoreRelation {
+ public:
+  ScoreRelation() = default;
+
+  /// The pair for `key`; ⟨⊥, 0⟩ if absent.
+  const ScoreConf& Lookup(const Tuple& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? kDefault : it->second;
+  }
+
+  /// Sets the pair for `key`. Default pairs are not stored (and erase any
+  /// existing entry), maintaining the non-default-only invariant.
+  void Set(const Tuple& key, const ScoreConf& pair) {
+    if (pair.IsDefault()) {
+      map_.erase(key);
+    } else {
+      map_[key] = pair;
+    }
+  }
+
+  /// Number of non-default entries (the paper's |R_P|).
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  void Reserve(size_t n) { map_.reserve(n); }
+  void Clear() { map_.clear(); }
+
+  using Map = std::unordered_map<Tuple, ScoreConf, TupleHash, TupleEq>;
+  const Map& entries() const { return map_; }
+
+  std::string ToString(size_t max_entries = 20) const;
+
+ private:
+  static const ScoreConf kDefault;
+  Map map_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PALGEBRA_SCORE_RELATION_H_

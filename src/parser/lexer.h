@@ -1,0 +1,45 @@
+#ifndef PREFDB_PARSER_LEXER_H_
+#define PREFDB_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace prefdb {
+
+/// Token categories of the PrefSQL lexer.
+enum class TokenKind {
+  kIdentifier,  // Possibly qualified: movies.year (stored verbatim).
+  kKeyword,     // Upper-cased canonical form in `text`.
+  kInteger,
+  kFloat,
+  kString,    // Contents without quotes.
+  kSymbol,    // ( ) , * = <> < <= > >= + - / .
+  kEnd,
+};
+
+/// One lexical token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+
+  bool IsKeyword(std::string_view kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(std::string_view sym) const {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenizes PrefSQL text. Keywords are recognized case-insensitively and
+/// canonicalized to upper case; identifiers keep their spelling. Qualified
+/// identifiers (`a.b`) are fused into a single identifier token. Strings
+/// use single quotes with '' as the escape for a literal quote.
+StatusOr<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PARSER_LEXER_H_

@@ -1,0 +1,62 @@
+#ifndef PREFDB_PARSER_PARSER_H_
+#define PREFDB_PARSER_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "palgebra/filters.h"
+#include "plan/plan.h"
+#include "prefs/agg_func.h"
+#include "storage/catalog.h"
+
+namespace prefdb {
+
+/// A parsed preferential query: the extended logical plan (with prefer
+/// operators, before optimization), the aggregate function, the
+/// tuple-filtering pipeline to apply to the evaluated p-relation, and the
+/// user's requested output columns.
+///
+/// Per the paper's parser (§VI): projections for every attribute used by a
+/// prefer operator are added automatically, so preference evaluation can run
+/// directly on the result of the non-preference query part (FtP) without
+/// re-joining base relations. The runner re-projects to `output_columns`
+/// after filtering.
+struct ParsedQuery {
+  PlanPtr plan;
+  const AggregateFunction* agg = nullptr;
+  std::vector<FilterSpec> filters;
+  std::vector<PreferencePtr> preferences;
+  /// The SELECT list as written; empty means SELECT * (all columns).
+  std::vector<std::string> output_columns;
+};
+
+/// Parses a PrefSQL query. The dialect:
+///
+///   SELECT title, director
+///   FROM MOVIES
+///   JOIN GENRES ON MOVIES.m_id = GENRES.m_id
+///   WHERE year = 2011
+///   PREFERRING
+///     p1: (genre = 'Comedy') SCORE 1.0 CONF 0.8,
+///     (votes > 500) SCORE rating_score(rating) CONF 0.8,
+///     (true) SCORE 1.0 CONF 0.9 EXISTS IN AWARDS ON m_id = m_id
+///   USING AGG wsum
+///   TOP 10 BY SCORE
+///
+/// Blocks may be combined with UNION / INTERSECT / EXCEPT. Filtering
+/// clauses (applied to the evaluated p-relation, in order):
+///   TOP k BY SCORE|CONF        -- top(k, score) / top(k, conf)
+///   WITH SCORE|CONF >[=] τ     -- threshold filter
+///   RANKED                     -- all results ordered by score
+///   NOT DOMINATED              -- (score, conf) skyline
+/// Conventional ORDER BY / LIMIT / DISTINCT are also supported and become
+/// plan operators.
+StatusOr<ParsedQuery> ParseQuery(std::string_view text, const Catalog& catalog);
+
+/// Parses a standalone scalar/boolean expression (test and tooling helper).
+StatusOr<ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PARSER_PARSER_H_

@@ -1,0 +1,45 @@
+#include "prefs/profile.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+std::vector<PreferencePtr> Profile::Relevant(
+    const std::vector<std::string>& query_relations) const {
+  std::vector<PreferencePtr> out;
+  for (const PreferencePtr& pref : preferences_) {
+    bool applicable = true;
+    for (const std::string& target : pref->relations()) {
+      // Membership member relations are probed via the catalog, not the
+      // query plan.
+      if (pref->membership() != nullptr &&
+          EqualsIgnoreCase(target, pref->membership()->member_relation)) {
+        continue;
+      }
+      bool present = false;
+      for (const std::string& rel : query_relations) {
+        if (EqualsIgnoreCase(rel, target)) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) {
+        applicable = false;
+        break;
+      }
+    }
+    if (applicable) out.push_back(pref);
+  }
+  return out;
+}
+
+std::string Profile::ToString() const {
+  std::string out = StrFormat("Profile(%s) [%zu preferences]\n", user_.c_str(),
+                              preferences_.size());
+  for (const PreferencePtr& pref : preferences_) {
+    out += "  " + pref->ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace prefdb

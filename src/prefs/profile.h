@@ -1,0 +1,50 @@
+#ifndef PREFDB_PREFS_PROFILE_H_
+#define PREFDB_PREFS_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "prefs/preference.h"
+
+namespace prefdb {
+
+/// A user's preference profile: the set of preferences the system has
+/// collected for them (explicit statements, learnt likes, ratings). This is
+/// the paper's query-personalization setting (§I, §V): "users are not
+/// expected to directly formulate preferential queries ... collected
+/// preferences are automatically integrated into their queries".
+///
+/// At query time, `Relevant` selects the preferences that can participate
+/// in a given query — those whose target relations are all present among
+/// the query's relations (a membership preference's member relation is
+/// probed through the catalog and need not appear in the query).
+class Profile {
+ public:
+  explicit Profile(std::string user) : user_(std::move(user)) {}
+
+  const std::string& user() const { return user_; }
+
+  /// Adds a preference to the profile.
+  void Add(PreferencePtr preference) {
+    preferences_.push_back(std::move(preference));
+  }
+
+  const std::vector<PreferencePtr>& preferences() const { return preferences_; }
+  size_t size() const { return preferences_.size(); }
+
+  /// The profile preferences applicable to a query over `query_relations`
+  /// (table names or aliases, compared case-insensitively).
+  std::vector<PreferencePtr> Relevant(
+      const std::vector<std::string>& query_relations) const;
+
+  /// Renders the profile for display.
+  std::string ToString() const;
+
+ private:
+  std::string user_;
+  std::vector<PreferencePtr> preferences_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PREFS_PROFILE_H_

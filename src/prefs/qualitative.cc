@@ -1,0 +1,86 @@
+#include "prefs/qualitative.h"
+
+#include "common/string_util.h"
+#include "expr/expr_builder.h"
+
+namespace prefdb {
+namespace qualitative {
+
+namespace {
+
+ExprPtr ColumnEquals(const std::string& column, const Value& value) {
+  return eb::Eq(eb::Col(column),
+                std::make_unique<LiteralExpr>(value));
+}
+
+}  // namespace
+
+PreferencePtr Like(const std::string& relation, const std::string& column,
+                   Value value, double confidence) {
+  std::string name = StrFormat("like[%s=%s]", column.c_str(),
+                               value.ToString().c_str());
+  return Preference::Generic(std::move(name), relation,
+                             ColumnEquals(column, value),
+                             ScoringFunction::Constant(1.0), confidence);
+}
+
+PreferencePtr Dislike(const std::string& relation, const std::string& column,
+                      Value value, double confidence) {
+  std::string name = StrFormat("dislike[%s=%s]", column.c_str(),
+                               value.ToString().c_str());
+  return Preference::Generic(std::move(name), relation,
+                             ColumnEquals(column, value),
+                             ScoringFunction::Constant(0.0), confidence);
+}
+
+PreferencePtr Ranking(const std::string& relation, const std::string& column,
+                      std::vector<Value> ordered_values, double confidence) {
+  // Affected tuples: column IN (values). Score: position-based, best first.
+  // The scoring expression is a nested conditional encoded arithmetically:
+  // sum over i of (column = v_i) * score_i — comparisons evaluate to 0/1,
+  // and the values are mutually exclusive, so exactly one term is non-zero.
+  size_t n = ordered_values.size();
+  ExprPtr scoring;
+  for (size_t i = 0; i < n; ++i) {
+    double score = n == 1 ? 1.0
+                          : 1.0 - static_cast<double>(i) /
+                                      static_cast<double>(n - 1);
+    ExprPtr term = eb::Mul(ColumnEquals(column, ordered_values[i]),
+                           eb::Lit(score));
+    scoring = scoring ? eb::Add(std::move(scoring), std::move(term))
+                      : std::move(term);
+  }
+  std::vector<std::string> labels;
+  labels.reserve(n);
+  for (const Value& v : ordered_values) labels.push_back(v.ToString());
+  std::string name =
+      StrFormat("ranking[%s: %s]", column.c_str(), StrJoin(labels, " > ").c_str());
+  return Preference::Generic(
+      std::move(name), relation,
+      eb::In(eb::Col(column), std::move(ordered_values)),
+      ScoringFunction(std::move(scoring)), confidence);
+}
+
+PreferencePtr PreferOver(const std::string& relation, const std::string& column,
+                         Value better, Value worse, double confidence) {
+  return Ranking(relation, column, {std::move(better), std::move(worse)},
+                 confidence);
+}
+
+PreferencePtr WithContext(const PreferencePtr& base, ExprPtr context,
+                          const std::string& context_label) {
+  std::string name = base->name() + "@" + context_label;
+  if (base->membership() != nullptr) {
+    return Preference::Membership(
+        std::move(name), base->relations()[0], *base->membership(),
+        eb::And(base->CloneCondition(), std::move(context)),
+        base->CloneScoring(), base->confidence());
+  }
+  return std::make_shared<Preference>(
+      std::move(name), base->relations(),
+      eb::And(base->CloneCondition(), std::move(context)), base->CloneScoring(),
+      base->confidence());
+}
+
+}  // namespace qualitative
+}  // namespace prefdb

@@ -1,0 +1,55 @@
+#ifndef PREFDB_PREFS_QUALITATIVE_H_
+#define PREFDB_PREFS_QUALITATIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "prefs/preference.h"
+
+namespace prefdb {
+
+/// Bridges from *qualitative* preference statements — the other main
+/// tradition the paper surveys in §II (preference relations: "value a is
+/// preferred over b and c", likes/dislikes, context-dependent preferences)
+/// — into this model's quantitative triples (σ_φ, S, C).
+///
+/// All constructors return ordinary Preference objects, so qualitative
+/// statements flow through the same algebra, optimizer and strategies as
+/// everything else.
+namespace qualitative {
+
+/// A like: tuples with `column` = `value` get score 1 (e.g. "Alice loves
+/// comedies", the paper's p_3, stated as a like on GENRES.genre).
+PreferencePtr Like(const std::string& relation, const std::string& column,
+                   Value value, double confidence);
+
+/// A dislike: affected tuples get score 0 — explicitly uninteresting, which
+/// is different from the unscored default ⊥ ("no knowledge"). With the F_S
+/// aggregate a dislike actively drags a tuple's combined score down.
+PreferencePtr Dislike(const std::string& relation, const std::string& column,
+                      Value value, double confidence);
+
+/// A total order over attribute values ("Comedy > Drama > Horror"): the
+/// first value scores 1, the last scores 0, intermediate values are spaced
+/// evenly — the standard embedding of a ranking into [0, 1]. Values not in
+/// the ranking stay unscored (⊥).
+PreferencePtr Ranking(const std::string& relation, const std::string& column,
+                      std::vector<Value> ordered_values, double confidence);
+
+/// A binary preference relation "better is preferred over worse" (the
+/// smallest qualitative statement, cf. winnow/BMO inputs): better scores 1,
+/// worse scores 0.
+PreferencePtr PreferOver(const std::string& relation, const std::string& column,
+                         Value better, Value worse, double confidence);
+
+/// Restricts `base` to a data context (the paper's §II context-dependent
+/// preferences, e.g. "in the context of comedies, prefer recent years"):
+/// the context condition is conjoined with the preference's conditional
+/// part, so the preference only affects tuples inside the context.
+PreferencePtr WithContext(const PreferencePtr& base, ExprPtr context,
+                          const std::string& context_label = "ctx");
+
+}  // namespace qualitative
+}  // namespace prefdb
+
+#endif  // PREFDB_PREFS_QUALITATIVE_H_

@@ -1,0 +1,12 @@
+#include "prefs/score_conf.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+std::string ScoreConf::ToString() const {
+  if (!has_score_) return "<_|_, 0>";
+  return StrFormat("<%.3f, %.3f>", score_, conf_);
+}
+
+}  // namespace prefdb

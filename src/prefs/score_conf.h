@@ -1,0 +1,101 @@
+#ifndef PREFDB_PREFS_SCORE_CONF_H_
+#define PREFDB_PREFS_SCORE_CONF_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace prefdb {
+
+/// A preference score/confidence pair ⟨S, C⟩ attached to a tuple of a
+/// p-relation (paper §IV-A).
+///
+/// The default pair is ⟨⊥, 0⟩: score unknown ("lack of knowledge about how
+/// interesting a tuple is"), confidence zero. ⟨⊥, 0⟩ is the identity element
+/// of every aggregate function. We maintain the invariant that a pair either
+/// has a known score with confidence > 0, or is exactly the identity — a
+/// "known score backed by zero confidence" carries no evidence and is
+/// normalized to the identity. This keeps the paper's F_S associative in all
+/// edge cases.
+///
+/// A single preference assigns score and confidence in [0, 1], but combined
+/// pairs may exceed 1 (F_S sums confidences; paper §IV-A).
+/// In addition to the pair itself, a ScoreConf carries the *match count* —
+/// how many preference applications contributed to it. The count is not
+/// part of Def. 3's F (aggregate functions are pure over ⟨S,C⟩); it is an
+/// orthogonal tally maintained by CombineCounted (agg_func.h) and consumed
+/// by the "at least n preferences satisfied" filtering strategy the paper
+/// lists in §V.
+class ScoreConf {
+ public:
+  /// The identity element ⟨⊥, 0⟩.
+  ScoreConf() = default;
+
+  /// A known pair; normalizes to the identity if `conf` <= 0 or the score
+  /// is not finite. A fresh known pair counts as one preference match.
+  static ScoreConf Known(double score, double conf) {
+    if (conf <= 0.0 || !std::isfinite(score) || !std::isfinite(conf)) {
+      return ScoreConf();
+    }
+    ScoreConf sc;
+    sc.score_ = score;
+    sc.conf_ = conf;
+    sc.has_score_ = true;
+    sc.count_ = 1;
+    return sc;
+  }
+
+  static ScoreConf Identity() { return ScoreConf(); }
+
+  /// True for ⟨⊥, 0⟩ (the default pair: tuple untouched by any preference).
+  bool IsDefault() const { return !has_score_; }
+
+  bool has_score() const { return has_score_; }
+
+  /// The score; only meaningful when has_score().
+  double score() const { return score_; }
+
+  /// The confidence (0 for the identity).
+  double conf() const { return conf_; }
+
+  /// How many preference applications contributed (0 for the identity,
+  /// 1 for a fresh pair, summed by CombineCounted).
+  uint32_t count() const { return count_; }
+
+  /// Returns a copy with the match count replaced.
+  ScoreConf WithCount(uint32_t count) const {
+    ScoreConf sc = *this;
+    sc.count_ = has_score_ ? count : 0;
+    return sc;
+  }
+
+  /// Exact equality (identity compares equal only to identity).
+  bool operator==(const ScoreConf& other) const {
+    if (has_score_ != other.has_score_) return false;
+    if (!has_score_) return true;
+    return score_ == other.score_ && conf_ == other.conf_;
+  }
+  bool operator!=(const ScoreConf& other) const { return !(*this == other); }
+
+  /// Equality up to `eps`, used by tests and the strategy-equivalence checks
+  /// (different evaluation orders accumulate different FP error).
+  bool ApproxEquals(const ScoreConf& other, double eps = 1e-9) const {
+    if (has_score_ != other.has_score_) return false;
+    if (!has_score_) return true;
+    return std::fabs(score_ - other.score_) <= eps &&
+           std::fabs(conf_ - other.conf_) <= eps;
+  }
+
+  /// Renders "⟨0.80, 1.00⟩" or "⟨⊥, 0⟩".
+  std::string ToString() const;
+
+ private:
+  double score_ = 0.0;
+  double conf_ = 0.0;
+  bool has_score_ = false;
+  uint32_t count_ = 0;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PREFS_SCORE_CONF_H_

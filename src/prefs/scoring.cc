@@ -1,0 +1,21 @@
+#include "prefs/scoring.h"
+
+#include <algorithm>
+
+#include "expr/expr_builder.h"
+
+namespace prefdb {
+
+ScoringFunction ScoringFunction::Constant(double score) {
+  return ScoringFunction(eb::Lit(std::clamp(score, 0.0, 1.0)));
+}
+
+Status ScoringFunction::Bind(const Schema& schema) { return expr_->Bind(schema); }
+
+std::optional<double> ScoringFunction::Score(const Tuple& tuple) const {
+  Value v = expr_->Eval(tuple);
+  if (!v.is_numeric()) return std::nullopt;
+  return std::clamp(v.NumericValue(), 0.0, 1.0);
+}
+
+}  // namespace prefdb

@@ -1,0 +1,64 @@
+#ifndef PREFDB_PREFS_SCORING_H_
+#define PREFDB_PREFS_SCORING_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expr.h"
+
+namespace prefdb {
+
+/// The scoring part S of a preference (paper Def. 1):
+/// S : dom(A_s) → [0,1] ∪ {⊥}.
+///
+/// Implemented as a numeric expression over the target relation's tuple,
+/// clamped to [0, 1]. An expression that evaluates to NULL (e.g. a NULL
+/// attribute) yields ⊥ — the tuple satisfies the conditional part but the
+/// preference contributes no score to it. The paper's canonical shapes are
+/// available as expression functions: `recency(a, x)` (S_m), `around(a, x)`
+/// (S_d) and `rating_score(a)` (S_r); arbitrary weighted combinations are
+/// ordinary arithmetic, e.g. `0.5 * recency(year, 2011) +
+/// 0.5 * around(duration, 120)` (the paper's p_5).
+class ScoringFunction {
+ public:
+  /// Wraps `expr` as the scoring expression. `expr` must be non-null.
+  explicit ScoringFunction(ExprPtr expr) : expr_(std::move(expr)) {}
+
+  /// A constant score for every affected tuple (e.g. the paper's p_3:
+  /// "comedies score 1").
+  static ScoringFunction Constant(double score);
+
+  /// Resolves the scoring expression against the target schema.
+  Status Bind(const Schema& schema);
+
+  /// Scores one tuple: the clamped numeric value of the expression, or
+  /// nullopt (⊥) for NULL / non-numeric results.
+  std::optional<double> Score(const Tuple& tuple) const;
+
+  /// Deep copy (unbound).
+  ScoringFunction Clone() const { return ScoringFunction(expr_->Clone()); }
+
+  /// Columns referenced by the scoring expression (the paper's A_s).
+  void CollectColumns(std::vector<std::string>* out) const {
+    expr_->CollectColumns(out);
+  }
+
+  /// Structural equality of the underlying expressions.
+  bool Equals(const ScoringFunction& other) const {
+    return expr_->Equals(*other.expr_);
+  }
+
+  std::string ToString() const { return expr_->ToString(); }
+
+  const Expr& expr() const { return *expr_; }
+
+ private:
+  ExprPtr expr_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PREFS_SCORING_H_

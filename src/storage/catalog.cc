@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  std::string key = ToUpper(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already exists: " + table->name());
+  }
+  tables_.emplace(std::move(key), std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::CreateTable(std::string name, Schema schema,
+                            std::vector<Tuple> rows,
+                            std::vector<std::string> primary_key) {
+  ASSIGN_OR_RETURN(std::unique_ptr<Table> table,
+                   Table::Create(std::move(name), std::move(schema),
+                                 std::move(rows), std::move(primary_key)));
+  return AddTable(std::move(table));
+}
+
+StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToUpper(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: " + name);
+  }
+  return it->second.get();
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToUpper(name)) > 0;
+}
+
+void Catalog::DropTable(const std::string& name) {
+  tables_.erase(ToUpper(name));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Catalog::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [key, table] : tables_) total += table->NumRows();
+  return total;
+}
+
+}  // namespace prefdb

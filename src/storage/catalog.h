@@ -1,0 +1,57 @@
+#ifndef PREFDB_STORAGE_CATALOG_H_
+#define PREFDB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace prefdb {
+
+/// The database catalog: the set of base tables, looked up by
+/// case-insensitive name. Owns the tables. This is the substrate's
+/// equivalent of the system catalog the paper's prototype reads from
+/// PostgreSQL.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  // Catalogs own large tables; moving is fine, copying is not.
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a table; fails if a table with the same name exists.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Convenience: creates and registers a table in one step.
+  Status CreateTable(std::string name, Schema schema, std::vector<Tuple> rows,
+                     std::vector<std::string> primary_key);
+
+  /// Looks up a table by name (case-insensitive).
+  StatusOr<Table*> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  /// Removes a table (used for the temporary relations the execution
+  /// strategies register). No-op if absent.
+  void DropTable(const std::string& name);
+
+  /// Names of all registered tables, sorted.
+  std::vector<std::string> TableNames() const;
+
+  /// Sum of row counts over all tables.
+  size_t TotalRows() const;
+
+ private:
+  // Keyed by upper-cased name.
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_STORAGE_CATALOG_H_

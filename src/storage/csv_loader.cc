@@ -1,0 +1,180 @@
+#include "storage/csv_loader.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+namespace {
+
+// Splits one CSV record into fields, honouring double-quoted fields with
+// "" as the embedded-quote escape. Returns false on malformed quoting.
+bool SplitCsvRecord(const std::string& line, std::vector<std::string>* fields) {
+  fields->clear();
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return false;
+  fields->push_back(std::move(current));
+  return true;
+}
+
+Value ParseField(const std::string& field, ValueType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case ValueType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(field.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return Value::Null();
+      return Value::Int(v);
+    }
+    case ValueType::kDouble: {
+      char* end = nullptr;
+      double v = std::strtod(field.c_str(), &end);
+      if (end == nullptr || *end != '\0') return Value::Null();
+      return Value::Double(v);
+    }
+    case ValueType::kString:
+    case ValueType::kNull:
+      return Value::String(field);
+  }
+  return Value::Null();
+}
+
+// Quotes a field if it contains a comma, quote or newline.
+std::string QuoteField(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status LoadCsvString(Catalog* catalog, const std::string& table_name,
+                     const Schema& schema, const std::string& csv_text,
+                     std::vector<std::string> primary_key) {
+  std::istringstream stream(csv_text);
+  std::string line;
+
+  // Header.
+  if (!std::getline(stream, line)) {
+    return Status::InvalidArgument("CSV is empty (missing header)");
+  }
+  std::vector<std::string> header;
+  if (!SplitCsvRecord(line, &header)) {
+    return Status::InvalidArgument("malformed CSV header");
+  }
+  if (header.size() != schema.size()) {
+    return Status::InvalidArgument(
+        StrFormat("CSV header has %zu columns, schema expects %zu",
+                  header.size(), schema.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!EqualsIgnoreCase(StripWhitespace(header[i]), schema.column(i).name)) {
+      return Status::InvalidArgument(
+          StrFormat("CSV header column %zu is '%s', schema expects '%s'", i,
+                    header[i].c_str(), schema.column(i).name.c_str()));
+    }
+  }
+
+  std::vector<Tuple> rows;
+  size_t line_number = 1;
+  std::vector<std::string> fields;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (StripWhitespace(line).empty()) continue;
+    if (!SplitCsvRecord(line, &fields)) {
+      return Status::InvalidArgument(
+          StrFormat("malformed CSV record at line %zu", line_number));
+    }
+    if (fields.size() != schema.size()) {
+      return Status::InvalidArgument(
+          StrFormat("CSV record at line %zu has %zu fields, expected %zu",
+                    line_number, fields.size(), schema.size()));
+    }
+    Tuple row;
+    row.reserve(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      row.push_back(ParseField(fields[i], schema.column(i).type));
+    }
+    rows.push_back(std::move(row));
+  }
+  return catalog->CreateTable(table_name, schema, std::move(rows),
+                              std::move(primary_key));
+}
+
+Status LoadCsvFile(Catalog* catalog, const std::string& table_name,
+                   const Schema& schema, const std::string& path,
+                   std::vector<std::string> primary_key) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return LoadCsvString(catalog, table_name, schema, contents.str(),
+                       std::move(primary_key));
+}
+
+std::string RelationToCsv(const Relation& relation) {
+  std::string out;
+  for (size_t i = 0; i < relation.schema().size(); ++i) {
+    if (i > 0) out += ',';
+    out += QuoteField(relation.schema().column(i).name);
+  }
+  out += '\n';
+  for (const Tuple& row : relation.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      const Value& v = row[i];
+      switch (v.type()) {
+        case ValueType::kNull:
+          break;  // Empty field.
+        case ValueType::kInt:
+          out += StrFormat("%lld", static_cast<long long>(v.AsInt()));
+          break;
+        case ValueType::kDouble:
+          out += StrFormat("%.17g", v.AsDouble());
+          break;
+        case ValueType::kString:
+          out += QuoteField(v.AsString());
+          break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,36 @@
+#ifndef PREFDB_STORAGE_CSV_LOADER_H_
+#define PREFDB_STORAGE_CSV_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+
+namespace prefdb {
+
+/// Loads a CSV file into a new table of `catalog`, so users can run
+/// preferential queries over their own data instead of the synthetic
+/// generators.
+///
+/// Format: comma-separated, first line is the header (column names),
+/// double quotes for fields containing commas/quotes ("" escapes a quote).
+/// Values are typed against `schema` by position: INT and DOUBLE columns
+/// parse numerically (empty fields and failed parses load as NULL), STRING
+/// columns load verbatim. The header must match `schema`'s column names
+/// (case-insensitive, same order).
+Status LoadCsvFile(Catalog* catalog, const std::string& table_name,
+                   const Schema& schema, const std::string& path,
+                   std::vector<std::string> primary_key);
+
+/// Same, from in-memory text (testing and embedding).
+Status LoadCsvString(Catalog* catalog, const std::string& table_name,
+                     const Schema& schema, const std::string& csv_text,
+                     std::vector<std::string> primary_key);
+
+/// Writes a relation as CSV text (header + rows); NULLs become empty
+/// fields. The inverse of LoadCsvString for round-tripping results.
+std::string RelationToCsv(const Relation& relation);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_STORAGE_CSV_LOADER_H_

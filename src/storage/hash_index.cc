@@ -1,0 +1,19 @@
+#include "storage/hash_index.h"
+
+namespace prefdb {
+
+HashIndex::HashIndex(const Relation& relation, size_t column_index)
+    : column_index_(column_index) {
+  map_.reserve(relation.NumRows());
+  const std::vector<Tuple>& rows = relation.rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    map_[rows[i][column_index]].push_back(static_cast<uint32_t>(i));
+  }
+}
+
+const std::vector<uint32_t>& HashIndex::Lookup(const Value& key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? empty_ : it->second;
+}
+
+}  // namespace prefdb

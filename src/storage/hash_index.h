@@ -1,0 +1,40 @@
+#ifndef PREFDB_STORAGE_HASH_INDEX_H_
+#define PREFDB_STORAGE_HASH_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "types/relation.h"
+#include "types/value.h"
+
+namespace prefdb {
+
+/// An equality index over one column of a materialized relation: maps a
+/// column value to the row positions holding it. This is the substrate's
+/// stand-in for the B-tree/hash indexes a disk-based engine would expose;
+/// the native optimizer prefers an index scan for equality predicates on
+/// indexed columns (cf. paper heuristic 4's rationale: base relations are
+/// likely index-accessible, join products are not).
+class HashIndex {
+ public:
+  /// Builds the index over `relation`'s column at `column_index`.
+  HashIndex(const Relation& relation, size_t column_index);
+
+  size_t column_index() const { return column_index_; }
+
+  /// Row positions whose column equals `key` (empty if none).
+  const std::vector<uint32_t>& Lookup(const Value& key) const;
+
+  /// Number of distinct keys.
+  size_t NumKeys() const { return map_.size(); }
+
+ private:
+  size_t column_index_;
+  std::unordered_map<Value, std::vector<uint32_t>, ValueHash> map_;
+  std::vector<uint32_t> empty_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_STORAGE_HASH_INDEX_H_

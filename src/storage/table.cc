@@ -1,0 +1,73 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+StatusOr<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
+                                               std::vector<Tuple> rows,
+                                               std::vector<std::string> primary_key,
+                                               bool qualify_with_name) {
+  // Base-table columns are qualified with the table name so that joins
+  // produce unambiguous schemas (MOVIES.m_id vs GENRES.m_id).
+  Schema qualified =
+      qualify_with_name ? schema.WithQualifier(name) : std::move(schema);
+  Relation relation(std::move(qualified), std::move(rows));
+  std::vector<size_t> key_indices;
+  key_indices.reserve(primary_key.size());
+  for (const std::string& key_col : primary_key) {
+    ASSIGN_OR_RETURN(size_t idx, relation.schema().FindColumn(key_col));
+    key_indices.push_back(idx);
+  }
+  // Canonical (ascending) key order; see ResolveProjection in plan.cc.
+  std::sort(key_indices.begin(), key_indices.end());
+  relation.set_key_columns(std::move(key_indices));
+  RETURN_IF_ERROR(relation.CheckWellFormed());
+  return std::unique_ptr<Table>(new Table(std::move(name), std::move(relation)));
+}
+
+const HashIndex& Table::EnsureIndex(size_t column_index) {
+  auto it = indexes_.find(column_index);
+  if (it == indexes_.end()) {
+    it = indexes_.emplace(column_index,
+                          std::make_unique<HashIndex>(relation_, column_index))
+             .first;
+  }
+  return *it->second;
+}
+
+const ColumnStats& Table::Stats(size_t column_index) {
+  auto it = stats_.find(column_index);
+  if (it != stats_.end()) return it->second;
+
+  ColumnStats stats;
+  stats.row_count = relation_.NumRows();
+  std::unordered_set<Value, ValueHash> distinct;
+  bool first_numeric = true;
+  for (const Tuple& row : relation_.rows()) {
+    const Value& v = row[column_index];
+    if (v.is_null()) {
+      ++stats.null_count;
+      continue;
+    }
+    distinct.insert(v);
+    if (v.is_numeric()) {
+      double d = v.NumericValue();
+      if (first_numeric) {
+        stats.min = stats.max = d;
+        stats.has_range = true;
+        first_numeric = false;
+      } else {
+        if (d < stats.min) stats.min = d;
+        if (d > stats.max) stats.max = d;
+      }
+    }
+  }
+  stats.distinct_count = distinct.size();
+  return stats_.emplace(column_index, stats).first->second;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,72 @@
+#ifndef PREFDB_STORAGE_TABLE_H_
+#define PREFDB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/hash_index.h"
+#include "types/relation.h"
+
+namespace prefdb {
+
+/// Per-column statistics maintained by the catalog and consumed by both the
+/// native optimizer (join ordering, access paths) and the preference-aware
+/// optimizer (selectivity-based reordering of prefer operators, heuristic 5).
+struct ColumnStats {
+  size_t row_count = 0;
+  size_t null_count = 0;
+  size_t distinct_count = 0;
+  // Numeric range; valid only when `has_range` (column had numeric values).
+  bool has_range = false;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// A named base table: schema, rows, a declared primary key, and lazily
+/// built hash indexes. Tables are owned by the Catalog and immutable once
+/// loaded (the workloads are read-only, as in the paper's evaluation).
+class Table {
+ public:
+  /// Creates a table; `primary_key` lists key column names (composite keys
+  /// allowed, e.g. CAST(m_id, a_id)). Fails if a key column is unknown.
+  /// When `qualify_with_name` is set (the default for base tables), every
+  /// column's qualifier is replaced with the table name; temporary tables
+  /// registered by the execution strategies pass false to keep the
+  /// qualifiers of the intermediate result they materialize.
+  static StatusOr<std::unique_ptr<Table>> Create(
+      std::string name, Schema schema, std::vector<Tuple> rows,
+      std::vector<std::string> primary_key, bool qualify_with_name = true);
+
+  const std::string& name() const { return name_; }
+  const Relation& relation() const { return relation_; }
+  const Schema& schema() const { return relation_.schema(); }
+  size_t NumRows() const { return relation_.NumRows(); }
+  const std::vector<size_t>& primary_key() const { return relation_.key_columns(); }
+
+  /// Returns the hash index on `column_index`, building it on first use.
+  const HashIndex& EnsureIndex(size_t column_index);
+
+  /// True if an index on `column_index` has already been built.
+  bool HasIndex(size_t column_index) const {
+    return indexes_.count(column_index) > 0;
+  }
+
+  /// Statistics for column `i` (computed on first access, then cached).
+  const ColumnStats& Stats(size_t column_index);
+
+ private:
+  Table(std::string name, Relation relation)
+      : name_(std::move(name)), relation_(std::move(relation)) {}
+
+  std::string name_;
+  Relation relation_;
+  std::unordered_map<size_t, std::unique_ptr<HashIndex>> indexes_;
+  std::unordered_map<size_t, ColumnStats> stats_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_STORAGE_TABLE_H_

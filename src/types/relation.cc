@@ -1,0 +1,36 @@
+#include "types/relation.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+Status Relation::CheckWellFormed() const {
+  for (const Tuple& row : rows_) {
+    if (row.size() != schema_.size()) {
+      return Status::Internal(StrFormat(
+          "malformed relation: row arity %zu does not match schema arity %zu",
+          row.size(), schema_.size()));
+    }
+  }
+  for (size_t k : key_columns_) {
+    if (k >= schema_.size()) {
+      return Status::Internal("malformed relation: key column index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + StrFormat(" [%zu rows]\n", rows_.size());
+  size_t shown = 0;
+  for (const Tuple& row : rows_) {
+    if (shown++ >= max_rows) {
+      out += StrFormat("  ... (%zu more)\n", rows_.size() - max_rows);
+      break;
+    }
+    out += "  " + TupleToString(row) + "\n";
+  }
+  return out;
+}
+
+}  // namespace prefdb

@@ -1,0 +1,61 @@
+#ifndef PREFDB_TYPES_RELATION_H_
+#define PREFDB_TYPES_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace prefdb {
+
+/// A materialized relation: a schema plus a vector of rows.
+///
+/// `key_columns` identifies the (possibly composite) primary key within the
+/// schema, by index. Base relations carry their declared primary key; the
+/// output of a join carries the concatenation of its inputs' keys. The key
+/// is what the score relations of the preference layer are keyed on
+/// (paper §VI, "Implementing p-relations"), so relational operators must
+/// maintain it.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  Schema* mutable_schema() { return &schema_; }
+
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>* mutable_rows() { return &rows_; }
+
+  size_t NumRows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void AddRow(Tuple row) { rows_.push_back(std::move(row)); }
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  const std::vector<size_t>& key_columns() const { return key_columns_; }
+  void set_key_columns(std::vector<size_t> cols) { key_columns_ = std::move(cols); }
+  bool HasKey() const { return !key_columns_.empty(); }
+
+  /// Extracts the key values of `row` (requires HasKey()).
+  Tuple KeyOf(const Tuple& row) const { return ProjectTuple(row, key_columns_); }
+
+  /// Validates that every row has exactly schema().size() values.
+  Status CheckWellFormed() const;
+
+  /// Renders header plus the first `max_rows` rows, for debugging/examples.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> rows_;
+  std::vector<size_t> key_columns_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_TYPES_RELATION_H_

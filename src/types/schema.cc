@@ -1,0 +1,64 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+StatusOr<size_t> Schema::FindColumn(const std::string& name) const {
+  size_t dot = name.find('.');
+  std::string qualifier;
+  std::string bare = name;
+  if (dot != std::string::npos) {
+    qualifier = name.substr(0, dot);
+    bare = name.substr(dot + 1);
+  }
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, bare)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference: " + name);
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::NotFound("column not found: " + name);
+  }
+  return static_cast<size_t>(found);
+}
+
+int Schema::FindColumnOrNegative(const std::string& name) const {
+  auto result = FindColumn(name);
+  return result.ok() ? static_cast<int>(*result) : -1;
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Column> cols = columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Column> cols;
+  cols.reserve(indices.size());
+  for (size_t i : indices) cols.push_back(columns_[i]);
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(const std::string& qualifier) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.qualifier = qualifier;
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& c : columns_) {
+    parts.push_back(c.FullName() + " " + std::string(ValueTypeName(c.type)));
+  }
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+}  // namespace prefdb

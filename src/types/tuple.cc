@@ -1,0 +1,29 @@
+#include "types/tuple.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+Tuple ConcatTuples(const Tuple& left, const Tuple& right) {
+  Tuple out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+Tuple ProjectTuple(const Tuple& tuple, const std::vector<size_t>& indices) {
+  Tuple out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(tuple[i]);
+  return out;
+}
+
+std::string TupleToString(const Tuple& tuple) {
+  std::vector<std::string> parts;
+  parts.reserve(tuple.size());
+  for (const Value& v : tuple) parts.push_back(v.ToString());
+  return "(" + StrJoin(parts, ", ") + ")";
+}
+
+}  // namespace prefdb

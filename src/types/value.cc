@@ -1,0 +1,101 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+std::string_view ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+namespace {
+
+// Rank in the cross-type total order: NULL < numerics < strings.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int lr = TypeRank(*this);
+  int rr = TypeRank(other);
+  if (lr != rr) return lr < rr ? -1 : 1;
+  switch (lr) {
+    case 0:
+      return 0;  // NULL == NULL under the total order (needed for grouping).
+    case 1: {
+      // Compare ints exactly when both are ints to avoid double rounding.
+      if (is_int() && other.is_int()) {
+        int64_t a = AsInt();
+        int64_t b = other.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = NumericValue();
+      double b = other.NumericValue();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    default: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kInt: {
+      // Hash via the double representation when it is exact, so that
+      // Int(2) and Double(2.0) — which compare equal — hash identically.
+      int64_t v = AsInt();
+      double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) return std::hash<double>{}(d);
+      return std::hash<int64_t>{}(v);
+    }
+    case ValueType::kDouble:
+      return std::hash<double>{}(AsDouble());
+    case ValueType::kString:
+      return std::hash<std::string>{}(AsString());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return StrFormat("%lld", static_cast<long long>(AsInt()));
+    case ValueType::kDouble: {
+      double d = AsDouble();
+      if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+        return StrFormat("%.1f", d);
+      }
+      return StrFormat("%g", d);
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace prefdb

@@ -1,0 +1,101 @@
+#ifndef PREFDB_TYPES_VALUE_H_
+#define PREFDB_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+namespace prefdb {
+
+/// Runtime type of a Value / declared type of a column.
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+/// Returns "NULL", "INT", "DOUBLE" or "STRING".
+std::string_view ValueTypeName(ValueType type);
+
+/// A dynamically typed SQL value: NULL, 64-bit integer, double, or string.
+///
+/// Comparison follows a total order so values can be used as keys in sorted
+/// and hashed containers: NULL sorts first; numeric values (int and double)
+/// compare numerically across the two types; strings sort after numerics.
+/// This mirrors the permissive comparison semantics of dynamically typed
+/// engines (e.g. SQLite) and keeps expression evaluation total — evaluation
+/// after a successful bind never fails.
+class Value {
+ public:
+  /// Constructs SQL NULL.
+  Value() : rep_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Double(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  ValueType type() const {
+    switch (rep_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDouble;
+      default:
+        return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return rep_.index() == 0; }
+  bool is_int() const { return rep_.index() == 1; }
+  bool is_double() const { return rep_.index() == 2; }
+  bool is_string() const { return rep_.index() == 3; }
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Requires is_double().
+  double AsDouble() const { return std::get<double>(rep_); }
+  /// Requires is_string().
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Numeric view of the value: the int or double payload widened to double.
+  /// Requires is_numeric().
+  double NumericValue() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Three-way comparison under the total order described above:
+  /// negative if *this < other, 0 if equal, positive if *this > other.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Hash consistent with operator== (ints and doubles representing the same
+  /// number hash identically).
+  size_t Hash() const;
+
+  /// Renders the value for display: NULL, 42, 3.14, 'text'.
+  std::string ToString() const;
+
+ private:
+  using Rep = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+/// Hash functor for Value, usable with unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_TYPES_VALUE_H_

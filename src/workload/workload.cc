@@ -1,0 +1,141 @@
+#include "workload/workload.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+std::vector<WorkloadQuery> ImdbWorkload() {
+  return {
+      {"IMDB-1",
+       "SELECT title, year FROM MOVIES "
+       "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+       "WHERE year >= 2000 "
+       "PREFERRING "
+       "  (genre = 'Comedy') SCORE 1.0 CONF 0.8, "
+       "  (year >= 2005) SCORE recency(year, 2011) CONF 0.9 "
+       "RANKED",
+       "Recent movies, preferring comedies and recency (2 relations, 2 prefs)"},
+      {"IMDB-2",
+       "SELECT title, director, rating FROM MOVIES "
+       "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+       "JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id "
+       "JOIN RATINGS ON MOVIES.m_id = RATINGS.m_id "
+       "WHERE year >= 1990 "
+       "PREFERRING "
+       "  (genre = 'Drama') SCORE 0.9 CONF 0.7, "
+       "  (votes > 500) SCORE rating_score(rating) CONF 0.8, "
+       "  (duration BETWEEN 90 AND 150) SCORE around(duration, 120) CONF 0.5 "
+       "TOP 20 BY SCORE",
+       "Rated movies with director info; rating / genre / duration preferences "
+       "(4 relations, 3 prefs, 1 without preferences)"},
+      {"IMDB-3",
+       "SELECT title, actor, director FROM MOVIES "
+       "JOIN CAST ON MOVIES.m_id = CAST.m_id "
+       "JOIN ACTORS ON CAST.a_id = ACTORS.a_id "
+       "JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id "
+       "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+       "WHERE year >= 2008 "
+       "PREFERRING "
+       "  (genre = 'Action') SCORE recency(year, 2011) CONF 0.8, "
+       "  (CAST.a_id <= 50) SCORE 1.0 CONF 1.0, "
+       "  (MOVIES.d_id <= 20) SCORE 0.9 CONF 0.8, "
+       "  (true) SCORE 1.0 CONF 0.9 EXISTS IN AWARDS ON MOVIES.m_id = m_id "
+       "TOP 50 BY SCORE",
+       "Star-studded recent movies; multi-relational and membership "
+       "preferences (5 relations, 4 prefs)"},
+  };
+}
+
+std::vector<WorkloadQuery> DblpWorkload() {
+  return {
+      {"DBLP-1",
+       "SELECT title, name, year FROM PUBLICATIONS "
+       "JOIN CONFERENCES ON PUBLICATIONS.p_id = CONFERENCES.p_id "
+       "WHERE year >= 2000 "
+       "PREFERRING "
+       "  (year >= 2005) SCORE recency(year, 2011) CONF 0.9, "
+       "  (location = 'Athens') SCORE 1.0 CONF 0.7 "
+       "RANKED",
+       "Recent conference papers, preferring recency and location "
+       "(2 relations, 2 prefs)"},
+      {"DBLP-2",
+       "SELECT title, PUBLICATIONS.p_id, AUTHORS.name FROM PUBLICATIONS "
+       "JOIN PUB_AUTHORS ON PUBLICATIONS.p_id = PUB_AUTHORS.p_id "
+       "JOIN AUTHORS ON PUB_AUTHORS.a_id = AUTHORS.a_id "
+       "JOIN CONFERENCES ON PUBLICATIONS.p_id = CONFERENCES.p_id "
+       "WHERE CONFERENCES.year >= 2005 "
+       "PREFERRING "
+       "  (PUB_AUTHORS.a_id <= 25) SCORE 1.0 CONF 1.0, "
+       "  (CONFERENCES.name = 'Conference 1') SCORE 0.9 CONF 0.8, "
+       "  (CONFERENCES.year >= 2009) SCORE recency(CONFERENCES.year, 2011) CONF 0.6 "
+       "TOP 20 BY SCORE",
+       "Recent conference papers by favourite authors and venues "
+       "(4 relations, 3 prefs)"},
+      {"DBLP-3",
+       "SELECT title, name, year FROM PUBLICATIONS "
+       "JOIN JOURNALS ON PUBLICATIONS.p_id = JOURNALS.p_id "
+       "WHERE year >= 1995 "
+       "PREFERRING "
+       "  (JOURNALS.name = 'Journal 1') SCORE 1.0 CONF 0.9, "
+       "  (year >= 2005) SCORE recency(year, 2011) CONF 0.8, "
+       "  (true) SCORE 1.0 CONF 0.9 EXISTS IN CITATIONS ON "
+       "PUBLICATIONS.p_id = p2_id "
+       "WITH CONF >= 0.9 RANKED",
+       "Journal papers, preferring flagship venues and cited work; "
+       "membership preference over CITATIONS with a confidence threshold "
+       "(2 relations + membership, 3 prefs)"},
+  };
+}
+
+std::string ImdbPreferenceSweep(int n_prefs) {
+  static constexpr const char* kPrefs[] = {
+      "(genre = 'Comedy') SCORE 1.0 CONF 0.8",
+      "(votes > 500) SCORE rating_score(rating) CONF 0.8",
+      "(year >= 2000) SCORE recency(year, 2011) CONF 0.9",
+      "(duration BETWEEN 90 AND 150) SCORE around(duration, 120) CONF 0.5",
+      "(genre = 'Drama') SCORE 0.7 CONF 0.6",
+      "(year >= 1990 AND year < 2000) SCORE 0.5 CONF 0.4",
+      "(rating >= 7) SCORE rating_score(rating) CONF 0.7",
+      "(genre = 'Action') SCORE recency(year, 2011) CONF 0.6",
+  };
+  int n = std::max(1, std::min<int>(n_prefs, std::size(kPrefs)));
+  std::string sql =
+      "SELECT title, year, rating FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "JOIN RATINGS ON MOVIES.m_id = RATINGS.m_id "
+      "PREFERRING ";
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) sql += ", ";
+    sql += kPrefs[i];
+  }
+  sql += " RANKED";
+  return sql;
+}
+
+std::string ImdbSelectivitySweep(double fraction, long long n_movies) {
+  long long threshold =
+      static_cast<long long>(fraction * static_cast<double>(n_movies));
+  if (threshold < 1) threshold = 1;
+  return StrFormat(
+      "SELECT title, year FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "PREFERRING (MOVIES.m_id <= %lld) SCORE 0.8 CONF 0.9 "
+      "RANKED",
+      threshold);
+}
+
+std::string ImdbRelationsSweep(int n_relations) {
+  std::string sql = "SELECT title, year FROM MOVIES ";
+  if (n_relations >= 2) sql += "JOIN GENRES ON MOVIES.m_id = GENRES.m_id ";
+  if (n_relations >= 3) sql += "JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id ";
+  if (n_relations >= 4) sql += "JOIN RATINGS ON MOVIES.m_id = RATINGS.m_id ";
+  if (n_relations >= 5) sql += "JOIN CAST ON MOVIES.m_id = CAST.m_id ";
+  sql +=
+      "PREFERRING "
+      "  (year >= 2000) SCORE recency(year, 2011) CONF 0.9, "
+      "  (duration BETWEEN 90 AND 150) SCORE around(duration, 120) CONF 0.5 "
+      "RANKED";
+  return sql;
+}
+
+}  // namespace prefdb

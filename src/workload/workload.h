@@ -1,0 +1,44 @@
+#ifndef PREFDB_WORKLOAD_WORKLOAD_H_
+#define PREFDB_WORKLOAD_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+namespace prefdb {
+
+/// One workload query: a PrefSQL text plus bookkeeping for the Table II
+/// style summary (the measured properties N, |R|, |λ|, P/NP are computed at
+/// run time by the bench harness).
+struct WorkloadQuery {
+  std::string name;
+  std::string sql;
+  std::string description;
+};
+
+/// The IMDB part of the paper's evaluation workload (IMDB-1..3, Table II).
+/// The paper lists the queries' properties but not their text, so these are
+/// reconstructions that exercise the same ingredients: 2-5 joined
+/// relations, 2-5 preferences (single-relation, multi-relation, membership)
+/// and hard selections, against the Fig. 1 schema.
+std::vector<WorkloadQuery> ImdbWorkload();
+
+/// The DBLP part of the workload (DBLP-1..3) against the Fig. 8 schema.
+std::vector<WorkloadQuery> DblpWorkload();
+
+/// Parameterized IMDB query with `n_prefs` preferences (1..8) over
+/// MOVIES ⋈ GENRES ⋈ RATINGS — the |λ| sweep of the evaluation.
+std::string ImdbPreferenceSweep(int n_prefs);
+
+/// Parameterized IMDB query whose single preference matches exactly
+/// `fraction` of the movies (via a key-range condition) — the preference
+/// selectivity sweep. `n_movies` is the generated MOVIES row count.
+std::string ImdbSelectivitySweep(double fraction, long long n_movies);
+
+/// Parameterized IMDB query joining the first `n_relations` (1..5) of
+/// MOVIES, GENRES, DIRECTORS, RATINGS, CAST with two fixed preferences —
+/// the |R| sweep.
+std::string ImdbRelationsSweep(int n_relations);
+
+}  // namespace prefdb
+
+#endif  // PREFDB_WORKLOAD_WORKLOAD_H_

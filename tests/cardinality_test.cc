@@ -1,0 +1,129 @@
+#include "engine/cardinality.h"
+
+#include "engine/native_optimizer.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+using testing_util::MakeMovieCatalog;
+
+class CardinalityTest : public ::testing::Test {
+ protected:
+  CardinalityTest() : catalog_(MakeMovieCatalog()) {
+    movies_schema_ = (*catalog_.GetTable("MOVIES"))->schema();
+  }
+  Catalog catalog_;
+  Schema movies_schema_;
+};
+
+TEST_F(CardinalityTest, EqualityUsesDistinctCount) {
+  // MOVIES has 5 rows with 3 distinct d_id values.
+  double sel = EstimateSelectivity(*Eq(Col("d_id"), Lit(int64_t{1})),
+                                   movies_schema_, catalog_);
+  EXPECT_NEAR(sel, 1.0 / 3.0, 1e-12);
+  // m_id is unique: selectivity 1/5.
+  sel = EstimateSelectivity(*Eq(Col("m_id"), Lit(int64_t{3})), movies_schema_,
+                            catalog_);
+  EXPECT_NEAR(sel, 1.0 / 5.0, 1e-12);
+}
+
+TEST_F(CardinalityTest, InequalityComplement) {
+  double sel = EstimateSelectivity(*Ne(Col("m_id"), Lit(int64_t{3})),
+                                   movies_schema_, catalog_);
+  EXPECT_NEAR(sel, 4.0 / 5.0, 1e-12);
+}
+
+TEST_F(CardinalityTest, RangeInterpolation) {
+  // MOVIES.year spans [2004, 2010]; year >= 2007 is half the span.
+  double sel = EstimateSelectivity(*Ge(Col("year"), Lit(int64_t{2007})),
+                                   movies_schema_, catalog_);
+  EXPECT_NEAR(sel, 0.5, 1e-12);
+  sel = EstimateSelectivity(*Lt(Col("year"), Lit(int64_t{2004})),
+                            movies_schema_, catalog_);
+  EXPECT_NEAR(sel, 0.0, 1e-12);
+  sel = EstimateSelectivity(*Le(Col("year"), Lit(int64_t{2100})),
+                            movies_schema_, catalog_);
+  EXPECT_NEAR(sel, 1.0, 1e-12);
+}
+
+TEST_F(CardinalityTest, FlippedLiteralMirrorsOperator) {
+  // 2007 <= year  ≡  year >= 2007.
+  double flipped = EstimateSelectivity(*Le(Lit(int64_t{2007}), Col("year")),
+                                       movies_schema_, catalog_);
+  double direct = EstimateSelectivity(*Ge(Col("year"), Lit(int64_t{2007})),
+                                      movies_schema_, catalog_);
+  EXPECT_NEAR(flipped, direct, 1e-12);
+}
+
+TEST_F(CardinalityTest, ConjunctionMultipliesDisjunctionUnions) {
+  ExprPtr a = Eq(Col("m_id"), Lit(int64_t{1}));      // 0.2
+  ExprPtr b = Ge(Col("year"), Lit(int64_t{2007}));   // 0.5
+  double s_and = EstimateSelectivity(*And(a->Clone(), b->Clone()),
+                                     movies_schema_, catalog_);
+  EXPECT_NEAR(s_and, 0.1, 1e-12);
+  double s_or = EstimateSelectivity(*Or(a->Clone(), b->Clone()),
+                                    movies_schema_, catalog_);
+  EXPECT_NEAR(s_or, 0.2 + 0.5 - 0.1, 1e-12);
+  double s_not = EstimateSelectivity(*Not(std::move(a)), movies_schema_, catalog_);
+  EXPECT_NEAR(s_not, 0.8, 1e-12);
+}
+
+TEST_F(CardinalityTest, InListScalesWithSize) {
+  double sel = EstimateSelectivity(
+      *In(Col("m_id"), {Value::Int(1), Value::Int(2)}), movies_schema_, catalog_);
+  EXPECT_NEAR(sel, 2.0 / 5.0, 1e-12);
+}
+
+TEST_F(CardinalityTest, LiteralPredicates) {
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(*Lit(int64_t{1}), movies_schema_, catalog_), 1.0);
+  EXPECT_DOUBLE_EQ(
+      EstimateSelectivity(*Lit(int64_t{0}), movies_schema_, catalog_), 0.0);
+}
+
+TEST_F(CardinalityTest, EquiJoinUsesMaxNdv) {
+  Schema joined = movies_schema_.Concat((*catalog_.GetTable("GENRES"))->schema());
+  double sel = EstimateSelectivity(*Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                                   joined, catalog_);
+  // ndv(MOVIES.m_id) = 5, ndv(GENRES.m_id) = 5 → 1/5.
+  EXPECT_NEAR(sel, 1.0 / 5.0, 1e-12);
+}
+
+TEST_F(CardinalityTest, UnresolvableFallsBackToDefault) {
+  Schema computed({{"", "x", ValueType::kInt}});
+  double sel = EstimateSelectivity(*Eq(Col("x"), Lit(int64_t{1})), computed,
+                                   catalog_);
+  EXPECT_NEAR(sel, 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(CardinalityTest, ScanCardinality) {
+  EXPECT_DOUBLE_EQ(EstimateScanCardinality("MOVIES", nullptr, catalog_), 5.0);
+  ExprPtr pred = Eq(Col("m_id"), Lit(int64_t{1}));
+  EXPECT_NEAR(EstimateScanCardinality("MOVIES", pred.get(), catalog_), 1.0,
+              1e-12);
+  EXPECT_DOUBLE_EQ(EstimateScanCardinality("NOPE", nullptr, catalog_), 0.0);
+}
+
+TEST_F(CardinalityTest, PlanCardinalityComposes) {
+  PlanPtr join = plan::Join(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                            plan::Scan("MOVIES"), plan::Scan("GENRES"));
+  // 5 * 6 * (1/5) = 6.
+  EXPECT_NEAR(EstimatePlanCardinality(*join, catalog_), 6.0, 1e-9);
+
+  PlanPtr filtered = plan::Select(Ge(Col("year"), Lit(int64_t{2007})),
+                                  plan::Scan("MOVIES"));
+  EXPECT_NEAR(EstimatePlanCardinality(*filtered, catalog_), 2.5, 1e-9);
+
+  PlanPtr limited = plan::Limit(2, plan::Scan("MOVIES"));
+  EXPECT_NEAR(EstimatePlanCardinality(*limited, catalog_), 2.0, 1e-9);
+
+  PlanPtr unioned = plan::Union(plan::Scan("MOVIES"), plan::Scan("MOVIES"));
+  EXPECT_NEAR(EstimatePlanCardinality(*unioned, catalog_), 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace prefdb

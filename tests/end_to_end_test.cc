@@ -1,0 +1,213 @@
+// End-to-end replication of the paper's running examples (§III and §V) on
+// the hand-built movie database: Alice's preferences from Fig. 5 evaluated
+// through the whole pipeline (parse → optimize → execute → filter) with
+// exact expected scores.
+
+#include "exec/runner.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::MakeMovieCatalog;
+using testing_util::S;
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  EndToEndTest() : session_(MakeMovieCatalog()) {}
+
+  QueryResult Run(std::string_view sql, StrategyKind kind = StrategyKind::kGBU) {
+    QueryOptions options;
+    options.strategy = kind;
+    auto result = session_.Query(sql, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  static double ScoreOf(const QueryResult& result, const char* title) {
+    size_t score_idx = result.relation.schema().size() - 2;
+    for (const Tuple& row : result.relation.rows()) {
+      if (row[0] == S(title)) return row[score_idx].NumericValue();
+    }
+    ADD_FAILURE() << title << " not in result";
+    return -1;
+  }
+
+  static double ConfOf(const QueryResult& result, const char* title) {
+    size_t conf_idx = result.relation.schema().size() - 1;
+    for (const Tuple& row : result.relation.rows()) {
+      if (row[0] == S(title)) return row[conf_idx].NumericValue();
+    }
+    ADD_FAILURE() << title << " not in result";
+    return -1;
+  }
+
+  Session session_;
+};
+
+// Paper Example 9 (Q1), adapted to the Fig. 3 instance: recent movies with
+// Alice's p1 (comedies, Fig. 5: ⟨0.8, 0.9⟩) and p2 (Eastwood, ⟨0.9, 0.8⟩).
+TEST_F(EndToEndTest, Example9TopKByScore) {
+  const char* q1 =
+      "SELECT title, director FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id "
+      "WHERE year >= 2004 "
+      "PREFERRING "
+      "  p1: (genre = 'Comedy') SCORE 0.8 CONF 0.9, "
+      "  p2: (DIRECTORS.d_id = 1) SCORE 0.9 CONF 0.8 "
+      "TOP 4 BY SCORE";
+  QueryResult result = Run(q1);
+  // Top four: Gran Torino ⟨0.9,0.8⟩, Million Dollar Baby twice (two genre
+  // rows, both ⟨0.9,0.8⟩), then the comedy Scoop ⟨0.8,0.9⟩.
+  ASSERT_EQ(result.relation.NumRows(), 4u);
+  // Eastwood movies carry ⟨0.9, 0.8⟩ and outrank the comedy's ⟨0.8, 0.9⟩.
+  EXPECT_EQ(result.relation.rows()[0][0], S("Gran Torino"));
+  EXPECT_EQ(result.relation.rows()[1][0], S("Million Dollar Baby"));
+  EXPECT_EQ(result.relation.rows()[3][0], S("Scoop"));
+  EXPECT_NEAR(ScoreOf(result, "Gran Torino"), 0.9, 1e-12);
+  EXPECT_NEAR(ConfOf(result, "Gran Torino"), 0.8, 1e-12);
+  EXPECT_NEAR(ScoreOf(result, "Scoop"), 0.8, 1e-12);
+  EXPECT_NEAR(ConfOf(result, "Scoop"), 0.9, 1e-12);
+}
+
+// Paper Example 10 (Q2): only "safe" suggestions — tuples matching enough
+// preferences — via a confidence threshold.
+TEST_F(EndToEndTest, Example10ConfidenceThreshold) {
+  const char* q2 =
+      "SELECT title FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "PREFERRING "
+      "  (genre = 'Comedy') SCORE 0.8 CONF 0.9, "
+      "  (year >= 2004) SCORE recency(year, 2011) CONF 0.7 "
+      "WITH CONF >= 1.5 RANKED";
+  QueryResult result = Run(q2);
+  // Only Scoop (Comedy, 2006) matches both: conf 0.9 + 0.7 = 1.6 >= 1.5.
+  ASSERT_EQ(result.relation.NumRows(), 1u);
+  EXPECT_EQ(result.relation.rows()[0][0], S("Scoop"));
+  EXPECT_NEAR(ConfOf(result, "Scoop"), 1.6, 1e-12);
+  // Score is the confidence-weighted mixture (F_S).
+  double expected =
+      (0.9 * 0.8 + 0.7 * (2006.0 / 2011.0)) / 1.6;
+  EXPECT_NEAR(ScoreOf(result, "Scoop"), expected, 1e-12);
+}
+
+// Paper Example 11 (Q3) in spirit: blending Alice's and Bob's preferences
+// with a union; tuples liked by both get combined evidence.
+TEST_F(EndToEndTest, Example11BlendingViaUnion) {
+  const char* q3 =
+      "SELECT title, year FROM MOVIES "
+      "WHERE d_id = 2 "
+      "PREFERRING alice: (year >= 2005) SCORE 0.9 CONF 1 "
+      "UNION "
+      "SELECT title, year FROM MOVIES "
+      "WHERE year >= 2005 "
+      "PREFERRING bob: (duration <= 120) SCORE 0.6 CONF 0.5 "
+      "RANKED";
+  QueryOptions options;
+  options.strategy = StrategyKind::kGBU;  // Set ops need plan-driven exec.
+  auto result = session_.Query(q3, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Scoop (d2, 2006, 96 min) is in both branches and matches both prefs:
+  // F_S(⟨0.9, 1⟩, ⟨0.6, 0.5⟩) = ⟨(0.9 + 0.3)/1.5, 1.5⟩ = ⟨0.8, 1.5⟩.
+  EXPECT_NEAR(ScoreOf(*result, "Scoop"), 0.8, 1e-12);
+  EXPECT_NEAR(ConfOf(*result, "Scoop"), 1.5, 1e-12);
+  // Match Point (d2, 2005, 124 min): only in the left branch, only Alice's
+  // pref applies (124 > 120 fails Bob's, year passes Alice's).
+  EXPECT_NEAR(ScoreOf(*result, "Match Point"), 0.9, 1e-12);
+  EXPECT_NEAR(ConfOf(*result, "Match Point"), 1.0, 1e-12);
+}
+
+// The paper's p7: membership preference through the full pipeline; the
+// not-dominated filter returns the (score, conf) skyline.
+TEST_F(EndToEndTest, MembershipAndSkyline) {
+  const char* sql =
+      "SELECT title FROM MOVIES "
+      "PREFERRING "
+      "  (true) SCORE 1.0 CONF 0.9 EXISTS IN AWARDS ON m_id = m_id, "
+      "  (year >= 2008) SCORE recency(year, 2011) CONF 0.4 "
+      "NOT DOMINATED";
+  QueryResult result = Run(sql);
+  // Million Dollar Baby: award ⟨1.0, 0.9⟩ — dominates everything.
+  // Gran Torino / Wall Street: recency with conf 0.4 and score < 1 —
+  // dominated. Unscored movies (⊥) are dominated as well.
+  ASSERT_EQ(result.relation.NumRows(), 1u);
+  EXPECT_EQ(result.relation.rows()[0][0], S("Million Dollar Baby"));
+}
+
+// Atomic preferences (the paper's p1/p2 in §III, Example 1): explicit
+// ratings with full confidence.
+TEST_F(EndToEndTest, AtomicPreferencesViaApi) {
+  // Expressed in PrefSQL as key-equality preferences.
+  const char* sql =
+      "SELECT title FROM MOVIES "
+      "PREFERRING "
+      "  (m_id = 3) SCORE 0.8 CONF 1, "
+      "  (m_id = 1) SCORE 0.3 CONF 1 "
+      "RANKED";
+  QueryResult result = Run(sql);
+  ASSERT_EQ(result.relation.NumRows(), 5u);
+  EXPECT_EQ(result.relation.rows()[0][0], S("Million Dollar Baby"));
+  EXPECT_NEAR(ScoreOf(result, "Million Dollar Baby"), 0.8, 1e-12);
+  EXPECT_NEAR(ScoreOf(result, "Gran Torino"), 0.3, 1e-12);
+}
+
+// Different aggregate functions change how evidence combines.
+TEST_F(EndToEndTest, AggregateFunctionChoiceMatters) {
+  const char* base =
+      "SELECT title FROM MOVIES "
+      "PREFERRING (year >= 2008) SCORE 1.0 CONF 0.3, "
+      "           (duration >= 110) SCORE 0.5 CONF 0.9 ";
+  QueryResult wsum = Run(std::string(base) + "USING AGG wsum RANKED");
+  QueryResult maxconf = Run(std::string(base) + "USING AGG maxconf RANKED");
+  // Gran Torino (2008, 116 min) matches both.
+  // F_S: (0.3*1 + 0.9*0.5)/1.2 = 0.625, conf 1.2.
+  EXPECT_NEAR(ScoreOf(wsum, "Gran Torino"), 0.625, 1e-12);
+  EXPECT_NEAR(ConfOf(wsum, "Gran Torino"), 1.2, 1e-12);
+  // F_max keeps the higher-confidence pair ⟨0.5, 0.9⟩.
+  EXPECT_NEAR(ScoreOf(maxconf, "Gran Torino"), 0.5, 1e-12);
+  EXPECT_NEAR(ConfOf(maxconf, "Gran Torino"), 0.9, 1e-12);
+}
+
+// The paper's §V list includes filtering by "a minimum number of
+// preferences" satisfied — expressed as WITH MATCHES >= n.
+TEST_F(EndToEndTest, MinimumNumberOfPreferences) {
+  const char* sql =
+      "SELECT title FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "PREFERRING "
+      "  (genre = 'Comedy') SCORE 0.8 CONF 0.9, "
+      "  (year >= 2005) SCORE recency(year, 2011) CONF 0.7, "
+      "  (duration <= 120) SCORE 1.0 CONF 0.5 "
+      "WITH MATCHES >= 3 RANKED";
+  QueryResult result = Run(sql);
+  // Only Scoop (Comedy, 2006, 96 min) matches all three.
+  ASSERT_EQ(result.relation.NumRows(), 1u);
+  EXPECT_EQ(result.relation.rows()[0][0], S("Scoop"));
+
+  // Relaxing to >= 2 admits Gran Torino (2008, 116 min) too.
+  QueryResult relaxed = Run(
+      "SELECT title FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "PREFERRING "
+      "  (genre = 'Comedy') SCORE 0.8 CONF 0.9, "
+      "  (year >= 2005) SCORE recency(year, 2011) CONF 0.7, "
+      "  (duration <= 120) SCORE 1.0 CONF 0.5 "
+      "WITH MATCHES >= 2 RANKED");
+  EXPECT_EQ(relaxed.relation.NumRows(), 2u);
+}
+
+// Preference evaluation never changes the answer set — only scores.
+TEST_F(EndToEndTest, PreferencesAreSoftConstraints) {
+  QueryResult without = Run("SELECT title FROM MOVIES WHERE year >= 2005");
+  QueryResult scored = Run(
+      "SELECT title FROM MOVIES WHERE year >= 2005 "
+      "PREFERRING (duration <= 100) SCORE 1.0 CONF 1, "
+      "           (true) SCORE 1.0 CONF 0.9 EXISTS IN AWARDS ON m_id = m_id "
+      "RANKED");
+  EXPECT_EQ(scored.relation.NumRows(), without.relation.NumRows());
+}
+
+}  // namespace
+}  // namespace prefdb

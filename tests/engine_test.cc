@@ -1,0 +1,133 @@
+// Tests for the Engine facade — the boundary between the preference layer
+// and the "black box" conventional DBMS. The hybrid architecture's claim
+// rests on this interface: conventional fragments in, materialized
+// relations and EXPLAIN information out, nothing else.
+
+#include "engine/engine.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+using testing_util::ExpectSameRows;
+using testing_util::MakeMovieCatalog;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : engine_(MakeMovieCatalog()) {}
+
+  PlanPtr ThreeWayJoin() {
+    return plan::Select(
+        Ge(Col("year"), Lit(int64_t{2005})),
+        plan::Join(Eq(Col("MOVIES.d_id"), Col("DIRECTORS.d_id")),
+                   plan::Join(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                              plan::Scan("MOVIES"), plan::Scan("GENRES")),
+                   plan::Scan("DIRECTORS")));
+  }
+
+  Engine engine_;
+};
+
+TEST_F(EngineTest, ExecuteRunsConventionalPlans) {
+  auto result = engine_.Execute(*plan::Scan("MOVIES"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NumRows(), 5u);
+  EXPECT_EQ(engine_.stats().engine_queries, 1u);
+}
+
+TEST_F(EngineTest, ExecuteRejectsExtendedPlans) {
+  PreferencePtr pref = Preference::Generic(
+      "p", "MOVIES", Ge(Col("year"), Lit(int64_t{2005})),
+      ScoringFunction::Constant(1.0), 0.9);
+  auto result = engine_.Execute(*plan::Prefer(pref, plan::Scan("MOVIES")));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, OptimizedAndUnoptimizedAgree) {
+  PlanPtr plan = ThreeWayJoin();
+  auto optimized = engine_.Execute(*plan);
+  auto raw = engine_.ExecuteUnoptimized(*plan);
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_TRUE(raw.ok());
+  ExpectSameRows(*optimized, *raw);
+}
+
+TEST_F(EngineTest, NativeOptimizerToggle) {
+  engine_.set_native_optimizer_enabled(false);
+  EXPECT_FALSE(engine_.native_optimizer_enabled());
+  PlanPtr plan = ThreeWayJoin();
+  auto disabled = engine_.Execute(*plan);
+  ASSERT_TRUE(disabled.ok());
+  engine_.set_native_optimizer_enabled(true);
+  auto enabled = engine_.Execute(*plan);
+  ASSERT_TRUE(enabled.ok());
+  ExpectSameRows(*enabled, *disabled);
+}
+
+TEST_F(EngineTest, ExplainJoinOrderWithoutExecuting) {
+  // The paper's EXPLAIN usage: join order with "negligible processing
+  // overhead" — no rows are scanned.
+  engine_.ResetStats();
+  auto order = engine_.ExplainJoinOrder(*ThreeWayJoin());
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(order->size(), 3u);
+  EXPECT_EQ((*order)[0], "DIRECTORS");  // Smallest table first.
+  EXPECT_EQ(engine_.stats().rows_scanned, 0u);
+  EXPECT_EQ(engine_.stats().engine_queries, 0u);
+}
+
+TEST_F(EngineTest, ExplainRendersOptimizedPlan) {
+  auto text = engine_.Explain(*ThreeWayJoin());
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("Join"), std::string::npos);
+  EXPECT_NE(text->find("Scan[MOVIES]"), std::string::npos);
+  // The selection has been pushed onto the MOVIES scan.
+  EXPECT_NE(text->find("Select[year >= 2005]"), std::string::npos);
+}
+
+TEST_F(EngineTest, StatsAccumulateAndReset) {
+  ASSERT_TRUE(engine_.Execute(*plan::Scan("MOVIES")).ok());
+  ASSERT_TRUE(engine_.Execute(*plan::Scan("GENRES")).ok());
+  EXPECT_EQ(engine_.stats().engine_queries, 2u);
+  EXPECT_EQ(engine_.stats().rows_scanned, 11u);  // 5 + 6.
+  engine_.ResetStats();
+  EXPECT_EQ(engine_.stats().engine_queries, 0u);
+  EXPECT_EQ(engine_.stats().rows_scanned, 0u);
+}
+
+TEST_F(EngineTest, ExecStatsMergeAndToString) {
+  ExecStats a;
+  a.tuples_materialized = 10;
+  a.engine_queries = 1;
+  ExecStats b;
+  b.tuples_materialized = 5;
+  b.score_entries_written = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.tuples_materialized, 15u);
+  EXPECT_EQ(a.engine_queries, 1u);
+  EXPECT_EQ(a.score_entries_written, 3u);
+  EXPECT_NE(a.ToString().find("materialized=15"), std::string::npos);
+  a.Reset();
+  EXPECT_EQ(a.tuples_materialized, 0u);
+}
+
+TEST_F(EngineTest, CatalogMutationVisibleToQueries) {
+  // The GBU strategy registers temporary tables this way.
+  auto temp = Table::Create("TEMP1", Schema({{"", "x", ValueType::kInt}}),
+                            {{Value::Int(7)}}, {"x"});
+  ASSERT_TRUE(temp.ok());
+  ASSERT_TRUE(engine_.mutable_catalog()->AddTable(std::move(*temp)).ok());
+  auto result = engine_.Execute(*plan::Scan("TEMP1"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->NumRows(), 1u);
+  engine_.mutable_catalog()->DropTable("TEMP1");
+  EXPECT_FALSE(engine_.Execute(*plan::Scan("TEMP1")).ok());
+}
+
+}  // namespace
+}  // namespace prefdb

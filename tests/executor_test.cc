@@ -1,0 +1,188 @@
+#include "engine/executor.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+using testing_util::I;
+using testing_util::MakeMovieCatalog;
+using testing_util::S;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : catalog_(MakeMovieCatalog()) {}
+
+  Relation Run(const PlanPtr& plan) {
+    auto result = ExecutePlan(*plan, &catalog_, &stats_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->CheckWellFormed().ok());
+    return result.ok() ? std::move(*result) : Relation();
+  }
+
+  Catalog catalog_;
+  ExecStats stats_;
+};
+
+TEST_F(ExecutorTest, ScanReturnsAllRowsWithKeys) {
+  Relation rel = Run(plan::Scan("MOVIES"));
+  EXPECT_EQ(rel.NumRows(), 5u);
+  EXPECT_EQ(rel.key_columns(), std::vector<size_t>{0});
+  EXPECT_EQ(stats_.rows_scanned, 5u);
+}
+
+TEST_F(ExecutorTest, ScanWithAliasRequalifies) {
+  Relation rel = Run(plan::Scan("MOVIES", "M"));
+  EXPECT_EQ(rel.schema().column(0).qualifier, "M");
+}
+
+TEST_F(ExecutorTest, SelectFilters) {
+  Relation rel = Run(plan::Select(Ge(Col("year"), Lit(int64_t{2006})),
+                                  plan::Scan("MOVIES")));
+  EXPECT_EQ(rel.NumRows(), 3u);  // Gran Torino 2008, Wall Street 2010, Scoop 2006.
+}
+
+TEST_F(ExecutorTest, SelectOverScanUsesIndexForEquality) {
+  PlanPtr p = plan::Select(Eq(Col("m_id"), Lit(int64_t{3})), plan::Scan("MOVIES"));
+  Relation rel = Run(p);
+  ASSERT_EQ(rel.NumRows(), 1u);
+  EXPECT_EQ(rel.rows()[0][1], S("Million Dollar Baby"));
+  // Index scan touches only matching rows, not the whole table.
+  EXPECT_EQ(stats_.rows_scanned, 1u);
+  EXPECT_TRUE((*catalog_.GetTable("MOVIES"))->HasIndex(0));
+}
+
+TEST_F(ExecutorTest, SelectWithResidualConjunct) {
+  // Equality served by index, the residual year conjunct still applied.
+  PlanPtr p = plan::Select(
+      And(Eq(Col("d_id"), Lit(int64_t{2})), Ge(Col("year"), Lit(int64_t{2006}))),
+      plan::Scan("MOVIES"));
+  Relation rel = Run(p);
+  ASSERT_EQ(rel.NumRows(), 1u);  // Scoop (2006, d2); Match Point is 2005.
+  EXPECT_EQ(rel.rows()[0][1], S("Scoop"));
+}
+
+TEST_F(ExecutorTest, ProjectKeepsKeys) {
+  Relation rel = Run(plan::Project({"title"}, plan::Scan("MOVIES")));
+  EXPECT_EQ(rel.schema().size(), 2u);  // title + implicit m_id.
+  EXPECT_EQ(rel.schema().column(1).name, "m_id");
+  EXPECT_EQ(rel.key_columns(), std::vector<size_t>{1});
+}
+
+TEST_F(ExecutorTest, HashJoinOnEquiPredicate) {
+  PlanPtr p = plan::Join(Eq(Col("MOVIES.d_id"), Col("DIRECTORS.d_id")),
+                         plan::Scan("MOVIES"), plan::Scan("DIRECTORS"));
+  Relation rel = Run(p);
+  EXPECT_EQ(rel.NumRows(), 5u);
+  EXPECT_EQ(rel.schema().size(), 7u);
+  EXPECT_EQ(rel.key_columns(), (std::vector<size_t>{0, 5}));
+}
+
+TEST_F(ExecutorTest, JoinWithResidualPredicate) {
+  PlanPtr p = plan::Join(
+      And(Eq(Col("MOVIES.d_id"), Col("DIRECTORS.d_id")),
+          Ge(Col("year"), Lit(int64_t{2006}))),
+      plan::Scan("MOVIES"), plan::Scan("DIRECTORS"));
+  EXPECT_EQ(Run(p).NumRows(), 3u);
+}
+
+TEST_F(ExecutorTest, NestedLoopJoinWithoutEquiConjunct) {
+  PlanPtr p = plan::Join(Lt(Col("MOVIES.year"), Col("AWARDS.year")),
+                         plan::Scan("MOVIES"), plan::Scan("AWARDS"));
+  // Award year 2005; movies before 2005: Million Dollar Baby (2004).
+  EXPECT_EQ(Run(p).NumRows(), 1u);
+}
+
+TEST_F(ExecutorTest, SemiJoinKeepsLeftColumnsOnce) {
+  PlanPtr p = plan::SemiJoin(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                             plan::Scan("MOVIES"), plan::Scan("GENRES"));
+  Relation rel = Run(p);
+  // Every movie has at least one genre; m3 has two but appears once.
+  EXPECT_EQ(rel.NumRows(), 5u);
+  EXPECT_EQ(rel.schema().size(), 5u);
+}
+
+TEST_F(ExecutorTest, UnionDeduplicates) {
+  PlanPtr p = plan::Union(
+      plan::Select(Ge(Col("year"), Lit(int64_t{2006})), plan::Scan("MOVIES")),
+      plan::Select(Eq(Col("d_id"), Lit(int64_t{2})), plan::Scan("MOVIES")));
+  // {m1, m2, m5} ∪ {m4, m5} = 4 rows.
+  EXPECT_EQ(Run(p).NumRows(), 4u);
+}
+
+TEST_F(ExecutorTest, IntersectAndExcept) {
+  PlanPtr both = plan::Intersect(
+      plan::Select(Ge(Col("year"), Lit(int64_t{2006})), plan::Scan("MOVIES")),
+      plan::Select(Eq(Col("d_id"), Lit(int64_t{2})), plan::Scan("MOVIES")));
+  Relation rel = Run(both);
+  ASSERT_EQ(rel.NumRows(), 1u);
+  EXPECT_EQ(rel.rows()[0][1], S("Scoop"));
+
+  PlanPtr diff = plan::Except(
+      plan::Select(Ge(Col("year"), Lit(int64_t{2006})), plan::Scan("MOVIES")),
+      plan::Select(Eq(Col("d_id"), Lit(int64_t{2})), plan::Scan("MOVIES")));
+  EXPECT_EQ(Run(diff).NumRows(), 2u);  // m1, m2.
+}
+
+TEST_F(ExecutorTest, DistinctRemovesDuplicates) {
+  PlanPtr p = plan::Distinct(plan::Project({"genre"}, plan::Scan("GENRES")));
+  // Project keeps keys (m_id, genre), so rows stay distinct; drop to plain
+  // genre via a relation without keys is not possible here — instead verify
+  // Distinct over a duplicate-producing union of identical inputs.
+  PlanPtr dup = plan::Distinct(
+      plan::Union(plan::Scan("MOVIES"), plan::Scan("MOVIES")));
+  EXPECT_EQ(Run(dup).NumRows(), 5u);
+  EXPECT_EQ(Run(p).NumRows(), 6u);
+}
+
+TEST_F(ExecutorTest, SortOrdersRows) {
+  PlanPtr p = plan::Sort({{"year", /*descending=*/true}}, plan::Scan("MOVIES"));
+  Relation rel = Run(p);
+  ASSERT_EQ(rel.NumRows(), 5u);
+  EXPECT_EQ(rel.rows()[0][2], I(2010));
+  EXPECT_EQ(rel.rows()[4][2], I(2004));
+}
+
+TEST_F(ExecutorTest, SortWithSecondaryKey) {
+  PlanPtr p = plan::Sort({{"d_id", false}, {"year", true}}, plan::Scan("MOVIES"));
+  Relation rel = Run(p);
+  // d1 movies first (2008 before 2004 due to DESC year).
+  EXPECT_EQ(rel.rows()[0][1], S("Gran Torino"));
+  EXPECT_EQ(rel.rows()[1][1], S("Million Dollar Baby"));
+}
+
+TEST_F(ExecutorTest, LimitTruncates) {
+  PlanPtr p = plan::Limit(2, plan::Sort({{"m_id", false}}, plan::Scan("MOVIES")));
+  Relation rel = Run(p);
+  ASSERT_EQ(rel.NumRows(), 2u);
+  EXPECT_EQ(rel.rows()[1][0], I(2));
+  // Limit larger than input is a no-op.
+  EXPECT_EQ(Run(plan::Limit(99, plan::Scan("MOVIES"))).NumRows(), 5u);
+}
+
+TEST_F(ExecutorTest, PreferNodeRejected) {
+  PreferencePtr pref = Preference::Generic(
+      "p", "GENRES", Eq(Col("genre"), Lit("Comedy")),
+      ScoringFunction::Constant(1.0), 0.8);
+  PlanPtr p = plan::Prefer(pref, plan::Scan("GENRES"));
+  ExecStats stats;
+  auto result = ExecutePlan(*p, &catalog_, &stats);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ExecutorTest, StatsCountMaterializedTuples) {
+  ExecStats stats;
+  auto result = ExecutePlan(
+      *plan::Select(Ge(Col("year"), Lit(int64_t{2006})), plan::Scan("MOVIES")),
+      &catalog_, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(stats.tuples_materialized, 3u);
+  EXPECT_GT(stats.operator_invocations, 0u);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,102 @@
+#include "expr/expr.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+
+// vector<ExprPtr> is move-only; initializer lists cannot hold it.
+template <typename... Args>
+std::vector<ExprPtr> MakeVec(Args... args) {
+  std::vector<ExprPtr> v;
+  (v.push_back(std::move(args)), ...);
+  return v;
+}
+
+Value Call(const char* fn, std::vector<ExprPtr> args) {
+  ExprPtr e = Fn(fn, std::move(args));
+  Status st = e->Bind(Schema());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return e->Eval({});
+}
+
+TEST(FunctionTest, Abs) {
+  EXPECT_EQ(Call("abs", MakeVec(Lit(int64_t{-5}))), Value::Int(5));
+  EXPECT_EQ(Call("abs", MakeVec(Lit(-2.5))), Value::Double(2.5));
+  EXPECT_TRUE(Call("abs", MakeVec(Lit("x"))).is_null());
+}
+
+TEST(FunctionTest, MinMax) {
+  EXPECT_EQ(Call("min", MakeVec(Lit(int64_t{3}), Lit(int64_t{7}))), Value::Int(3));
+  EXPECT_EQ(Call("max", MakeVec(Lit(int64_t{3}), Lit(int64_t{7}))), Value::Int(7));
+  EXPECT_EQ(Call("max", MakeVec(Lit(int64_t{1}), Lit(2.5), Lit(int64_t{2}))),
+            Value::Double(2.5));
+  EXPECT_TRUE(Call("min", MakeVec(Lit(int64_t{3}), Null())).is_null());
+}
+
+TEST(FunctionTest, Clamp) {
+  EXPECT_EQ(Call("clamp", MakeVec(Lit(5.0), Lit(0.0), Lit(1.0))),
+            Value::Double(1.0));
+  EXPECT_EQ(Call("clamp", MakeVec(Lit(-1.0), Lit(0.0), Lit(1.0))),
+            Value::Double(0.0));
+  EXPECT_EQ(Call("clamp", MakeVec(Lit(0.5), Lit(0.0), Lit(1.0))),
+            Value::Double(0.5));
+}
+
+TEST(FunctionTest, RecencyMatchesPaperSm) {
+  // S_m(year, x) = year / x, clamped to [0, 1].
+  EXPECT_NEAR(Call("recency", MakeVec(Lit(int64_t{2008}), Lit(int64_t{2011})))
+                  .NumericValue(),
+              2008.0 / 2011.0, 1e-12);
+  EXPECT_EQ(Call("recency", MakeVec(Lit(int64_t{3000}), Lit(int64_t{2011}))),
+            Value::Double(1.0));
+  EXPECT_TRUE(Call("recency", MakeVec(Lit(int64_t{2008}), Lit(int64_t{0})))
+                  .is_null());
+}
+
+TEST(FunctionTest, AroundMatchesPaperSd) {
+  // S_d(duration, x) = 1 - |duration - x| / x, clamped to [0, 1].
+  EXPECT_NEAR(Call("around", MakeVec(Lit(int64_t{116}), Lit(int64_t{120})))
+                  .NumericValue(),
+              1.0 - 4.0 / 120.0, 1e-12);
+  EXPECT_EQ(Call("around", MakeVec(Lit(int64_t{120}), Lit(int64_t{120}))),
+            Value::Double(1.0));
+  // Far from the target clamps at zero.
+  EXPECT_EQ(Call("around", MakeVec(Lit(int64_t{500}), Lit(int64_t{120}))),
+            Value::Double(0.0));
+}
+
+TEST(FunctionTest, RatingScoreMatchesPaperSr) {
+  // S_r(rating) = 0.1 * rating.
+  EXPECT_NEAR(Call("rating_score", MakeVec(Lit(8.1))).NumericValue(), 0.81,
+              1e-12);
+  EXPECT_EQ(Call("rating_score", MakeVec(Lit(15.0))), Value::Double(1.0));
+}
+
+TEST(FunctionTest, UnknownFunctionFailsAtBind) {
+  ExprPtr e = Fn("frobnicate", MakeVec(Lit(int64_t{1})));
+  EXPECT_FALSE(e->Bind(Schema()).ok());
+  EXPECT_FALSE(FunctionExpr::IsKnownFunction("frobnicate"));
+  EXPECT_TRUE(FunctionExpr::IsKnownFunction("RECENCY"));  // Case-insensitive.
+}
+
+TEST(FunctionTest, ArityCheckedAtBind) {
+  ExprPtr e = Fn("abs", MakeVec(Lit(int64_t{1}), Lit(int64_t{2})));
+  Status st = e->Bind(Schema());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FunctionTest, CloneAndEquality) {
+  ExprPtr a = Fn("around", MakeVec(Col("duration"), Lit(int64_t{120})));
+  ExprPtr b = a->Clone();
+  EXPECT_TRUE(a->Equals(*b));
+  ExprPtr c = Fn("around", MakeVec(Col("duration"), Lit(int64_t{100})));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_EQ(a->ToString(), "around(duration, 120)");
+}
+
+}  // namespace
+}  // namespace prefdb

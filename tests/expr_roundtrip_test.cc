@@ -1,0 +1,126 @@
+// Property test: the expression printer and the parser are inverses —
+// ParseExpression(expr->ToString()) is structurally equal to expr, for
+// randomized expression trees. Guards against printer/parser drift (operator
+// precedence, quoting, spacing) that the per-feature tests would miss.
+
+#include "common/rng.h"
+#include "expr/expr.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+
+// Generates random expression trees *within the PrefSQL grammar* — boolean
+// connectives over predicates over numeric terms, the shapes the printer
+// renders parseably. (The printer is not total over arbitrary Expr nesting,
+// e.g. a comparison of comparisons; the parser never builds those.)
+
+// Numeric term: literals, columns, arithmetic, scalar functions.
+ExprPtr RandomNum(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.35)) {
+    switch (rng->Uniform(0, 3)) {
+      case 0:
+        return Lit(rng->Uniform(-100, 100));
+      case 1:
+        // Fixed-precision double so printing is stable.
+        return Lit(static_cast<double>(rng->Uniform(0, 99)) / 4.0);
+      case 2:
+        return Col("a");
+      default:
+        return Col("T.b");
+    }
+  }
+  switch (rng->Uniform(0, 4)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3: {
+      if (rng->Bernoulli(0.3)) {
+        std::vector<ExprPtr> args;
+        args.push_back(RandomNum(rng, depth - 1));
+        args.push_back(RandomNum(rng, depth - 1));
+        return Fn(rng->Bernoulli(0.5) ? "recency" : "around", std::move(args));
+      }
+      ArithmeticOp ops[] = {ArithmeticOp::kAdd, ArithmeticOp::kSub,
+                            ArithmeticOp::kMul, ArithmeticOp::kDiv};
+      auto op = ops[rng->Uniform(0, 3)];
+      return std::make_unique<ArithmeticExpr>(op, RandomNum(rng, depth - 1),
+                                              RandomNum(rng, depth - 1));
+    }
+  }
+  return Col("a");
+}
+
+// Boolean expression: AND/OR/NOT over comparisons and IN lists.
+ExprPtr RandomExpr(Rng* rng, int depth) {
+  if (depth <= 0 || rng->Bernoulli(0.3)) {
+    if (rng->Bernoulli(0.2)) {
+      std::vector<Value> values;
+      int n = static_cast<int>(rng->Uniform(1, 3));
+      for (int i = 0; i < n; ++i) values.push_back(Value::Int(rng->Uniform(0, 9)));
+      return In(Col("a"), std::move(values));
+    }
+    CompareOp ops[] = {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe};
+    return Cmp(ops[rng->Uniform(0, 5)], RandomNum(rng, depth),
+               RandomNum(rng, depth));
+  }
+  switch (rng->Uniform(0, 2)) {
+    case 0:
+      return And(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    case 1:
+      return Or(RandomExpr(rng, depth - 1), RandomExpr(rng, depth - 1));
+    default:
+      return Not(RandomExpr(rng, depth - 1));
+  }
+}
+
+class ExprRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExprRoundTripTest, PrintThenParseIsIdentity) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    ExprPtr original = RandomExpr(&rng, 4);
+    std::string text = original->ToString();
+    auto reparsed = ParseExpression(text);
+    ASSERT_TRUE(reparsed.ok())
+        << reparsed.status().ToString() << "\ntext: " << text;
+    EXPECT_TRUE(original->Equals(**reparsed))
+        << "round-trip changed the tree:\n  original: " << text
+        << "\n  reparsed: " << (*reparsed)->ToString();
+  }
+}
+
+TEST_P(ExprRoundTripTest, ReparsedTreeEvaluatesIdentically) {
+  Rng rng(GetParam() + 5000);
+  Schema schema({{"T", "a", ValueType::kInt}, {"T", "b", ValueType::kDouble}});
+  for (int round = 0; round < 30; ++round) {
+    ExprPtr original = RandomExpr(&rng, 3);
+    auto reparsed = ParseExpression(original->ToString());
+    ASSERT_TRUE(reparsed.ok());
+    ASSERT_TRUE(original->Bind(schema).ok());
+    ASSERT_TRUE((*reparsed)->Bind(schema).ok());
+    for (int i = 0; i < 10; ++i) {
+      Tuple row{Value::Int(rng.Uniform(-50, 50)),
+                Value::Double(rng.UniformReal(-2.0, 2.0))};
+      Value lhs = original->Eval(row);
+      Value rhs = (*reparsed)->Eval(row);
+      if (lhs.is_numeric() && rhs.is_numeric()) {
+        EXPECT_NEAR(lhs.NumericValue(), rhs.NumericValue(), 1e-9)
+            << original->ToString();
+      } else {
+        EXPECT_EQ(lhs, rhs) << original->ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,288 @@
+#include "optimizer/extended_optimizer.h"
+
+#include "exec/strategy.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+using testing_util::ExpectSameRows;
+using testing_util::MakeMovieCatalog;
+
+class ExtendedOptimizerTest : public ::testing::Test {
+ protected:
+  ExtendedOptimizerTest() : engine_(MakeMovieCatalog()) {}
+
+  PlanPtr Optimize(const PlanNode& input,
+                   ExtendedOptimizerOptions options = ExtendedOptimizerOptions()) {
+    ExtendedOptimizer optimizer(&engine_, options);
+    auto result = optimizer.Optimize(input);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n"
+                             << input.ToString();
+    return result.ok() ? std::move(*result) : nullptr;
+  }
+
+  // Differential check through the BU strategy: the optimized extended plan
+  // must produce the same p-relation as the original.
+  void ExpectEquivalent(const PlanNode& original, const PlanNode& optimized) {
+    auto strategy = MakeStrategy(StrategyKind::kBU);
+    const AggregateFunction& agg = **GetAggregateFunction("wsum");
+    auto r1 = strategy->Execute(original, agg, &engine_);
+    auto r2 = strategy->Execute(optimized, agg, &engine_);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+    ExpectSameRows(ToScoredRelation(*r2), ToScoredRelation(*r1));
+  }
+
+  PreferencePtr YearPref(int64_t threshold = 2005, double conf = 0.9) {
+    return Preference::Generic(
+        "p_year", "MOVIES", Ge(Col("year"), Lit(threshold)),
+        ScoringFunction::Constant(0.8), conf);
+  }
+
+  PreferencePtr GenrePref(const char* genre = "Comedy") {
+    return Preference::Generic("p_genre", "GENRES",
+                               Eq(Col("genre"), Lit(genre)),
+                               ScoringFunction::Constant(1.0), 0.8);
+  }
+
+  PlanPtr MovieGenreJoin() {
+    return plan::Join(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                      plan::Scan("MOVIES"), plan::Scan("GENRES"));
+  }
+
+  Engine engine_;
+};
+
+TEST_F(ExtendedOptimizerTest, StripPrefersRemovesAllPreferNodes) {
+  PlanPtr p = plan::Prefer(YearPref(),
+                           plan::Prefer(GenrePref(), MovieGenreJoin()));
+  PlanPtr stripped = StripPrefers(*p);
+  EXPECT_FALSE(stripped->ContainsPrefer());
+  EXPECT_EQ(stripped->kind, PlanKind::kJoin);
+}
+
+TEST_F(ExtendedOptimizerTest, CollectPrefersBottomUp) {
+  PlanPtr p = plan::Prefer(YearPref(),
+                           plan::Prefer(GenrePref(), MovieGenreJoin()));
+  std::vector<PreferencePtr> prefs = CollectPrefers(*p);
+  ASSERT_EQ(prefs.size(), 2u);
+  EXPECT_EQ(prefs[0]->name(), "p_genre");
+  EXPECT_EQ(prefs[1]->name(), "p_year");
+}
+
+TEST_F(ExtendedOptimizerTest, Rule1PushesSelectionBelowPrefer) {
+  // σ over λ commutes (Prop. 4.1) and lands on the base scan.
+  PlanPtr p = plan::Select(
+      Eq(Col("d_id"), Lit(int64_t{1})),
+      plan::Prefer(YearPref(), plan::Scan("MOVIES")));
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  std::string s = optimized->ToString();
+  size_t prefer_pos = s.find("Prefer");
+  size_t select_pos = s.find("Select[d_id = 1]");
+  ASSERT_NE(prefer_pos, std::string::npos) << s;
+  ASSERT_NE(select_pos, std::string::npos) << s;
+  EXPECT_LT(prefer_pos, select_pos) << s;  // Prefer now above the selection.
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, Rule4PushesPreferToItsRelation) {
+  // λ_genre over the join moves to the GENRES side (Prop. 4.4).
+  PlanPtr p = plan::Prefer(GenrePref(), MovieGenreJoin());
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  // Root is now the join; the prefer sits on the GENRES branch.
+  EXPECT_EQ(optimized->kind, PlanKind::kJoin);
+  EXPECT_EQ(optimized->CountKind(PlanKind::kPrefer), 1u);
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, MultiRelationalPreferStaysAboveJoin) {
+  PreferencePtr multi = Preference::MultiRelational(
+      "p_multi", {"MOVIES", "GENRES"},
+      And(Eq(Col("genre"), Lit("Drama")), Ge(Col("year"), Lit(int64_t{2005}))),
+      ScoringFunction::Constant(0.9), 0.7);
+  PlanPtr p = plan::Prefer(multi, MovieGenreJoin());
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  EXPECT_EQ(optimized->kind, PlanKind::kPrefer);
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, PreferNotPushedIntoSetOpSides) {
+  // Union-compatible inputs from *different* base tables: the preference
+  // binds to both sides' schemas, but targets only MOVIES tuples... here we
+  // use two selections of MOVIES — targets exist on both sides, so pushing
+  // is allowed only when the target set matches; with identical sides the
+  // result must stay correct either way. Check via differential execution.
+  PlanPtr left = plan::Select(Ge(Col("year"), Lit(int64_t{2006})),
+                              plan::Scan("MOVIES"));
+  PlanPtr right = plan::Select(Eq(Col("d_id"), Lit(int64_t{2})),
+                               plan::Scan("MOVIES"));
+  PlanPtr p = plan::Prefer(YearPref(),
+                           plan::Union(std::move(left), std::move(right)));
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  // Correctness is what matters; pushing λ into one union branch would lose
+  // scores for tuples only in the other branch.
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, Rule5OrdersPrefersBySelectivity) {
+  // p_rare (m_id = 3, selectivity 1/5) must run before p_common (year >=
+  // 2004, selectivity ~1).
+  PreferencePtr rare = Preference::Generic(
+      "p_rare", "MOVIES", Eq(Col("m_id"), Lit(int64_t{3})),
+      ScoringFunction::Constant(1.0), 1.0);
+  PreferencePtr common = Preference::Generic(
+      "p_common", "MOVIES", Ge(Col("year"), Lit(int64_t{2004})),
+      ScoringFunction::Constant(0.5), 0.5);
+  PlanPtr p = plan::Prefer(rare, plan::Prefer(common, plan::Scan("MOVIES")));
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  std::string s = optimized->ToString();
+  size_t rare_pos = s.find("Prefer[p_rare]");
+  size_t common_pos = s.find("Prefer[p_common]");
+  ASSERT_NE(rare_pos, std::string::npos) << s;
+  ASSERT_NE(common_pos, std::string::npos) << s;
+  // Deeper in the tree (later in the indented printout) evaluates first.
+  EXPECT_GT(rare_pos, common_pos) << s;
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, Rule2PrunesUnusedColumnsAboveScans) {
+  PlanPtr p = plan::Project(
+      {"title"},
+      plan::Prefer(YearPref(),
+                   plan::Select(Eq(Col("d_id"), Lit(int64_t{1})),
+                                plan::Scan("MOVIES"))));
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  // A projection above the base select keeps only referenced columns
+  // (title, year, d_id + key m_id), dropping `duration`.
+  auto shape = DerivePlanShape(*optimized, engine_.catalog());
+  ASSERT_TRUE(shape.ok());
+  std::string s = optimized->ToString();
+  EXPECT_GE(optimized->CountKind(PlanKind::kProject), 2u) << s;
+  EXPECT_EQ(s.find("duration"), std::string::npos) << s;
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, JoinReorderMatchesNativeOrder) {
+  // DIRECTORS is smallest; the native engine starts from it, and the
+  // extended optimizer must mirror that order.
+  PlanPtr p = plan::Prefer(
+      GenrePref(),
+      plan::Join(Eq(Col("MOVIES.d_id"), Col("DIRECTORS.d_id")),
+                 MovieGenreJoin(), plan::Scan("DIRECTORS")));
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, OutputShapeIsInvariant) {
+  PlanPtr p = plan::Project(
+      {"title", "genre"},
+      plan::Prefer(GenrePref(),
+                   plan::Select(Ge(Col("year"), Lit(int64_t{2004})),
+                                MovieGenreJoin())));
+  auto before = DerivePlanShape(*p, engine_.catalog());
+  ASSERT_TRUE(before.ok());
+  PlanPtr optimized = Optimize(*p);
+  ASSERT_NE(optimized, nullptr);
+  auto after = DerivePlanShape(*optimized, engine_.catalog());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->schema, before->schema);
+  EXPECT_EQ(after->key_columns, before->key_columns);
+}
+
+TEST_F(ExtendedOptimizerTest, CostBasedPlacementSkipsReductiveJoins) {
+  // RATINGS covers only some movies, so MOVIES ⋈ RATINGS shrinks MOVIES:
+  // blind pushdown scores all 5 movies; cost-based placement keeps the
+  // prefer above the join (estimated join output < MOVIES cardinality).
+  PlanPtr p = plan::Prefer(
+      YearPref(),
+      plan::Join(Eq(Col("MOVIES.m_id"), Col("RATINGS.m_id")),
+                 plan::Scan("MOVIES"), plan::Scan("RATINGS")));
+
+  ExtendedOptimizerOptions blind;
+  PlanPtr pushed = Optimize(*p, blind);
+  ASSERT_NE(pushed, nullptr);
+  // λ moved into a branch (the root may be the join-reorder's
+  // schema-restoring projection).
+  EXPECT_NE(pushed->kind, PlanKind::kPrefer);
+
+  ExtendedOptimizerOptions cost_based;
+  cost_based.cost_based_prefer_placement = true;
+  PlanPtr kept = Optimize(*p, cost_based);
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept->kind, PlanKind::kPrefer);  // λ stayed above the join.
+
+  // Both placements are semantically equal (Prop. 4.4).
+  ExpectEquivalent(*pushed, *kept);
+}
+
+TEST_F(ExtendedOptimizerTest, CostBasedPlacementStillPushesWhenItPays) {
+  // MOVIES ⋈ GENRES expands (6 genre rows over 5 movies): pushing the
+  // MOVIES preference below the join shrinks its input.
+  PlanPtr p = plan::Prefer(YearPref(), MovieGenreJoin());
+  ExtendedOptimizerOptions cost_based;
+  cost_based.cost_based_prefer_placement = true;
+  PlanPtr optimized = Optimize(*p, cost_based);
+  ASSERT_NE(optimized, nullptr);
+  EXPECT_EQ(optimized->kind, PlanKind::kJoin);
+  ExpectEquivalent(*p, *optimized);
+}
+
+TEST_F(ExtendedOptimizerTest, AllRulesDisabledIsIdentityModuloClone) {
+  PlanPtr p = plan::Prefer(GenrePref(),
+                           plan::Select(Ge(Col("year"), Lit(int64_t{2004})),
+                                        MovieGenreJoin()));
+  PlanPtr optimized = Optimize(*p, ExtendedOptimizerOptions::AllDisabled());
+  ASSERT_NE(optimized, nullptr);
+  EXPECT_EQ(optimized->ToString(), p->ToString());
+}
+
+TEST_F(ExtendedOptimizerTest, EachRuleAloneIsSound) {
+  PlanPtr p = plan::Project(
+      {"title"},
+      plan::Prefer(
+          YearPref(),
+          plan::Prefer(GenrePref(),
+                       plan::Select(Ge(Col("year"), Lit(int64_t{2004})),
+                                    MovieGenreJoin()))));
+  for (int rule = 0; rule < 6; ++rule) {
+    ExtendedOptimizerOptions options = ExtendedOptimizerOptions::AllDisabled();
+    switch (rule) {
+      case 0:
+        options.push_selections = true;
+        break;
+      case 1:
+        options.push_projections = true;
+        break;
+      case 2:
+        options.push_prefer = true;
+        break;
+      case 3:
+        options.push_prefer_over_binary = true;
+        break;
+      case 4:
+        options.reorder_prefers = true;
+        break;
+      case 5:
+        options.left_deep = true;
+        options.match_native_join_order = true;
+        break;
+    }
+    PlanPtr optimized = Optimize(*p, options);
+    ASSERT_NE(optimized, nullptr) << "rule " << rule;
+    ExpectEquivalent(*p, *optimized);
+  }
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,193 @@
+#include "palgebra/filters.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+using testing_util::N;
+
+// A scored relation with one id column plus score/conf: the form produced by
+// ToScoredRelation.
+Relation MakeScored(std::vector<std::tuple<int64_t, Value, double>> rows) {
+  Relation rel(Schema({{"T", "id", ValueType::kInt},
+                       {"", "score", ValueType::kDouble},
+                       {"", "conf", ValueType::kDouble}}));
+  rel.set_key_columns({0});
+  for (auto& [id, score, conf] : rows) {
+    rel.AddRow({I(id), score, D(conf)});
+  }
+  return rel;
+}
+
+TEST(FilterSpecTest, FactoriesAndToString) {
+  EXPECT_EQ(FilterSpec::TopK(10).ToString(), "top(10, score)");
+  EXPECT_EQ(FilterSpec::TopK(3, FilterTarget::kConf).ToString(), "top(3, conf)");
+  EXPECT_EQ(FilterSpec::Threshold(FilterTarget::kConf, 0.5).ToString(),
+            "conf >= 0.500");
+  EXPECT_EQ(FilterSpec::Threshold(FilterTarget::kScore, 0.2, true).ToString(),
+            "score > 0.200");
+  EXPECT_EQ(FilterSpec::RankAll().ToString(), "ranked");
+  EXPECT_EQ(FilterSpec::NotDominated().ToString(), "not-dominated");
+}
+
+TEST(FiltersTest, TopKByScore) {
+  Relation scored = MakeScored(
+      {{1, D(0.5), 1.0}, {2, D(0.9), 0.2}, {3, D(0.7), 0.7}, {4, N(), 0.0}});
+  auto out = ApplyFilter(scored, FilterSpec::TopK(2));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->rows()[0][0], I(2));
+  EXPECT_EQ(out->rows()[1][0], I(3));
+}
+
+TEST(FiltersTest, TopKByConf) {
+  Relation scored = MakeScored({{1, D(0.5), 1.0}, {2, D(0.9), 0.2}});
+  auto out = ApplyFilter(scored, FilterSpec::TopK(1, FilterTarget::kConf));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], I(1));
+}
+
+TEST(FiltersTest, TopKLargerThanInputKeepsAll) {
+  Relation scored = MakeScored({{1, D(0.5), 1.0}});
+  auto out = ApplyFilter(scored, FilterSpec::TopK(10));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 1u);
+}
+
+TEST(FiltersTest, UnknownScoreRanksLast) {
+  Relation scored = MakeScored({{1, N(), 0.0}, {2, D(0.0), 0.1}});
+  auto out = ApplyFilter(scored, FilterSpec::RankAll());
+  ASSERT_TRUE(out.ok());
+  // Known score 0.0 still beats ⊥.
+  EXPECT_EQ(out->rows()[0][0], I(2));
+  EXPECT_EQ(out->rows()[1][0], I(1));
+}
+
+TEST(FiltersTest, ScoreThreshold) {
+  Relation scored = MakeScored({{1, D(0.5), 1.0}, {2, D(0.2), 1.0}, {3, N(), 0.0}});
+  auto out = ApplyFilter(scored,
+                         FilterSpec::Threshold(FilterTarget::kScore, 0.5));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);  // >= 0.5; ⊥ fails any score threshold.
+  EXPECT_EQ(out->rows()[0][0], I(1));
+
+  auto strict = ApplyFilter(
+      scored, FilterSpec::Threshold(FilterTarget::kScore, 0.5, /*strict=*/true));
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict->NumRows(), 0u);
+}
+
+TEST(FiltersTest, ConfThresholdSelectsCredibleTuples) {
+  // Paper Example 10: disqualify tuples not relevant for many preferences.
+  Relation scored = MakeScored({{1, D(1.0), 1.7}, {2, D(1.0), 0.8}});
+  auto out =
+      ApplyFilter(scored, FilterSpec::Threshold(FilterTarget::kConf, 1.5));
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], I(1));
+}
+
+TEST(FiltersTest, RankAllOrdersByScoreThenConf) {
+  Relation scored = MakeScored(
+      {{1, D(0.5), 0.2}, {2, D(0.9), 0.1}, {3, D(0.5), 0.9}});
+  auto out = ApplyFilter(scored, FilterSpec::RankAll());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->rows()[0][0], I(2));
+  EXPECT_EQ(out->rows()[1][0], I(3));  // Equal score, higher conf first.
+  EXPECT_EQ(out->rows()[2][0], I(1));
+}
+
+TEST(FiltersTest, NotDominatedComputesSkyline) {
+  // Points: (0.9, 0.2), (0.5, 0.9), (0.4, 0.5) dominated by (0.5,0.9),
+  // (0.9, 0.1) dominated by (0.9, 0.2).
+  Relation scored = MakeScored({{1, D(0.9), 0.2},
+                                {2, D(0.5), 0.9},
+                                {3, D(0.4), 0.5},
+                                {4, D(0.9), 0.1}});
+  auto out = ApplyFilter(scored, FilterSpec::NotDominated());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->rows()[0][0], I(1));
+  EXPECT_EQ(out->rows()[1][0], I(2));
+}
+
+TEST(FiltersTest, NotDominatedKeepsExactDuplicates) {
+  Relation scored = MakeScored({{1, D(0.9), 0.5}, {2, D(0.9), 0.5}});
+  auto out = ApplyFilter(scored, FilterSpec::NotDominated());
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->NumRows(), 2u);
+}
+
+TEST(FiltersTest, NotDominatedDropsEqualConfLowerScore) {
+  Relation scored = MakeScored({{1, D(0.9), 0.5}, {2, D(0.4), 0.5}});
+  auto out = ApplyFilter(scored, FilterSpec::NotDominated());
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], I(1));
+}
+
+TEST(FiltersTest, MinMatchesFiltersOnCount) {
+  Relation rel(Schema({{"T", "id", ValueType::kInt}}));
+  rel.set_key_columns({0});
+  for (int64_t i = 1; i <= 3; ++i) rel.AddRow({I(i)});
+  PRelation p(std::move(rel));
+  p.scores.Set({I(1)}, ScoreConf::Known(0.9, 1.0));               // 1 match.
+  p.scores.Set({I(2)}, ScoreConf::Known(0.5, 2.0).WithCount(2));  // 2 matches.
+  // id 3 unscored: 0 matches.
+
+  PRelation two = FilterByMinMatches(p, 2);
+  ASSERT_EQ(two.rel.NumRows(), 1u);
+  EXPECT_EQ(two.rel.rows()[0][0], I(2));
+
+  PRelation one = FilterByMinMatches(p, 1);
+  EXPECT_EQ(one.rel.NumRows(), 2u);
+
+  PRelation zero = FilterByMinMatches(p, 0);
+  EXPECT_EQ(zero.rel.NumRows(), 3u);
+
+  // Through ApplyFilters, combined with a top-k.
+  auto out = ApplyFilters(p, {FilterSpec::MinMatches(1), FilterSpec::TopK(1)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 1u);
+  EXPECT_EQ(out->rows()[0][0], I(1));  // Higher score wins the top-1.
+}
+
+TEST(FiltersTest, MinMatchesSpecToString) {
+  EXPECT_EQ(FilterSpec::MinMatches(2).ToString(), "matches >= 2");
+}
+
+TEST(FiltersTest, MinMatchesRejectedOnScoredForm) {
+  Relation scored = MakeScored({{1, D(0.5), 1.0}});
+  EXPECT_FALSE(ApplyFilter(scored, FilterSpec::MinMatches(1)).ok());
+}
+
+TEST(FiltersTest, MissingScoreColumnsFail) {
+  Relation rel(Schema({{"T", "id", ValueType::kInt}}));
+  EXPECT_FALSE(ApplyFilter(rel, FilterSpec::RankAll()).ok());
+}
+
+TEST(FiltersTest, ApplyFiltersChainsInOrder) {
+  Relation rel(Schema({{"T", "id", ValueType::kInt}}));
+  rel.set_key_columns({0});
+  for (int64_t i = 1; i <= 5; ++i) rel.AddRow({I(i)});
+  PRelation p(std::move(rel));
+  for (int64_t i = 1; i <= 5; ++i) {
+    p.scores.Set({I(i)}, ScoreConf::Known(0.1 * static_cast<double>(i),
+                                          0.2 * static_cast<double>(i)));
+  }
+  // Threshold on conf then top-2 by score.
+  auto out = ApplyFilters(
+      p, {FilterSpec::Threshold(FilterTarget::kConf, 0.6), FilterSpec::TopK(2)});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->NumRows(), 2u);
+  EXPECT_EQ(out->rows()[0][0], I(5));
+  EXPECT_EQ(out->rows()[1][0], I(4));
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,101 @@
+#include "parser/lexer.h"
+
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+std::vector<Token> Lex(std::string_view text) {
+  auto tokens = Tokenize(text);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? std::move(*tokens) : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = Lex("   \t\n ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCanonicalizedUpperCase) {
+  std::vector<Token> tokens = Lex("select From WHERE preferring");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_TRUE(tokens[1].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[2].IsKeyword("WHERE"));
+  EXPECT_TRUE(tokens[3].IsKeyword("PREFERRING"));
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  std::vector<Token> tokens = Lex("MyTable my_col");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MyTable");
+  EXPECT_EQ(tokens[1].text, "my_col");
+}
+
+TEST(LexerTest, QualifiedIdentifiersFused) {
+  std::vector<Token> tokens = Lex("MOVIES.m_id = GENRES.m_id");
+  ASSERT_GE(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "MOVIES.m_id");
+  EXPECT_TRUE(tokens[1].IsSymbol("="));
+  EXPECT_EQ(tokens[2].text, "GENRES.m_id");
+}
+
+TEST(LexerTest, Numbers) {
+  std::vector<Token> tokens = Lex("42 3.14 .5");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[1].text, "3.14");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens[2].text, ".5");
+}
+
+TEST(LexerTest, StringsWithEscapedQuote) {
+  std::vector<Token> tokens = Lex("'hello' 'it''s'");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("'oops").ok());
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  std::vector<Token> tokens = Lex("<= >= <> != < > =");
+  EXPECT_TRUE(tokens[0].IsSymbol("<="));
+  EXPECT_TRUE(tokens[1].IsSymbol(">="));
+  EXPECT_TRUE(tokens[2].IsSymbol("<>"));
+  EXPECT_TRUE(tokens[3].IsSymbol("<>"));  // != canonicalized.
+  EXPECT_TRUE(tokens[4].IsSymbol("<"));
+  EXPECT_TRUE(tokens[5].IsSymbol(">"));
+  EXPECT_TRUE(tokens[6].IsSymbol("="));
+}
+
+TEST(LexerTest, PunctuationAndOffsets) {
+  std::vector<Token> tokens = Lex("(a, b)");
+  EXPECT_TRUE(tokens[0].IsSymbol("("));
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 1u);
+  EXPECT_TRUE(tokens[2].IsSymbol(","));
+  EXPECT_TRUE(tokens[4].IsSymbol(")"));
+}
+
+TEST(LexerTest, UnexpectedCharacterFails) {
+  auto result = Tokenize("a @ b");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, ArithmeticSymbols) {
+  std::vector<Token> tokens = Lex("0.5 * recency(year, 2011) + 1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kFloat);
+  EXPECT_TRUE(tokens[1].IsSymbol("*"));
+  EXPECT_EQ(tokens[2].text, "recency");  // Not a keyword.
+  EXPECT_TRUE(tokens[3].IsSymbol("("));
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,176 @@
+#include "exec/personalize.h"
+
+#include "exec/runner.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "prefs/qualitative.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::MakeMovieCatalog;
+using testing_util::S;
+
+Profile AliceProfile() {
+  Profile profile("alice");
+  profile.Add(qualitative::Like("GENRES", "genre", Value::String("Comedy"), 0.8));
+  profile.Add(Preference::Generic(
+      "alice_recent", "MOVIES", eb::Ge(eb::Col("year"), eb::Lit(int64_t{2006})),
+      [] {
+        std::vector<ExprPtr> args;
+        args.push_back(eb::Col("year"));
+        args.push_back(eb::Lit(int64_t{2011}));
+        return ScoringFunction(eb::Fn("recency", std::move(args)));
+      }(),
+      0.9));
+  profile.Add(Preference::Generic(
+      "alice_rating", "RATINGS", eb::Gt(eb::Col("votes"), eb::Lit(int64_t{100000})),
+      ScoringFunction(eb::Mul(eb::Lit(0.1), eb::Col("rating"))), 0.7));
+  return profile;
+}
+
+TEST(ProfileTest, RelevantFiltersByRelations) {
+  Profile profile = AliceProfile();
+  EXPECT_EQ(profile.size(), 3u);
+
+  // Query over MOVIES only: the GENRES and RATINGS preferences don't apply.
+  std::vector<PreferencePtr> relevant = profile.Relevant({"MOVIES"});
+  ASSERT_EQ(relevant.size(), 1u);
+  EXPECT_EQ(relevant[0]->name(), "alice_recent");
+
+  // MOVIES + GENRES: two apply.
+  relevant = profile.Relevant({"MOVIES", "GENRES"});
+  EXPECT_EQ(relevant.size(), 2u);
+
+  // All three relations.
+  relevant = profile.Relevant({"movies", "genres", "ratings"});
+  EXPECT_EQ(relevant.size(), 3u);
+}
+
+TEST(ProfileTest, MembershipMemberRelationNotRequired) {
+  Profile profile("p");
+  profile.Add(Preference::Membership(
+      "awarded", "MOVIES", MembershipSpec{"AWARDS", "m_id", "m_id"},
+      eb::True(), ScoringFunction::Constant(1.0), 0.9));
+  // AWARDS need not appear in the query: it is probed via the catalog.
+  EXPECT_EQ(profile.Relevant({"MOVIES"}).size(), 1u);
+  EXPECT_EQ(profile.Relevant({"GENRES"}).size(), 0u);
+}
+
+TEST(ProfileTest, ToStringListsPreferences) {
+  Profile profile = AliceProfile();
+  std::string s = profile.ToString();
+  EXPECT_NE(s.find("alice"), std::string::npos);
+  EXPECT_NE(s.find("3 preferences"), std::string::npos);
+  EXPECT_NE(s.find("alice_recent"), std::string::npos);
+}
+
+class PersonalizeTest : public ::testing::Test {
+ protected:
+  PersonalizeTest() : session_(MakeMovieCatalog()) {}
+  Session session_;
+};
+
+TEST_F(PersonalizeTest, PlanRelationsListsScans) {
+  auto parsed = ParseQuery(
+      "SELECT title FROM MOVIES JOIN GENRES ON MOVIES.m_id = GENRES.m_id",
+      session_.engine().catalog());
+  ASSERT_TRUE(parsed.ok());
+  std::vector<std::string> relations = PlanRelations(*parsed->plan);
+  ASSERT_EQ(relations.size(), 2u);
+}
+
+TEST_F(PersonalizeTest, InjectsRelevantPreferences) {
+  auto parsed = ParseQuery(
+      "SELECT title FROM MOVIES JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "WHERE year >= 2004",
+      session_.engine().catalog());
+  ASSERT_TRUE(parsed.ok());
+  Profile profile = AliceProfile();
+  auto injected = InjectProfile(&*parsed, profile, session_.engine().catalog());
+  ASSERT_TRUE(injected.ok()) << injected.status().ToString();
+  EXPECT_EQ(*injected, 2u);  // Comedy like + recency; RATINGS absent.
+  EXPECT_EQ(parsed->plan->CountKind(PlanKind::kPrefer), 2u);
+  // The projection was widened with preference attributes below the root.
+  auto shape = DerivePlanShape(*parsed->plan, session_.engine().catalog());
+  ASSERT_TRUE(shape.ok());
+  EXPECT_TRUE(shape->schema.HasColumn("genre"));
+}
+
+TEST_F(PersonalizeTest, EndToEndPersonalizedQuery) {
+  Profile profile = AliceProfile();
+  auto plain = session_.Query(
+      "SELECT title, year FROM MOVIES JOIN GENRES ON MOVIES.m_id = "
+      "GENRES.m_id");
+  ASSERT_TRUE(plain.ok());
+  auto personalized = session_.QueryPersonalized(
+      "SELECT title, year FROM MOVIES JOIN GENRES ON MOVIES.m_id = "
+      "GENRES.m_id TOP 3 BY SCORE",
+      profile);
+  ASSERT_TRUE(personalized.ok()) << personalized.status().ToString();
+  ASSERT_EQ(personalized->relation.NumRows(), 3u);
+  // Wall Street (2010, recency 2010/2011 ≈ 0.9995) narrowly beats the
+  // comedy Scoop, whose two matched preferences blend to
+  // F_S(⟨1.0, 0.8⟩, ⟨2006/2011, 0.9⟩) ≈ 0.9987.
+  EXPECT_EQ(personalized->relation.rows()[0][0], S("Wall Street"));
+  EXPECT_NEAR(personalized->relation.rows()[0][2].NumericValue(),
+              2010.0 / 2011.0, 1e-12);
+  EXPECT_EQ(personalized->relation.rows()[1][0], S("Scoop"));
+  double scoop_expected = (0.8 * 1.0 + 0.9 * (2006.0 / 2011.0)) / 1.7;
+  EXPECT_NEAR(personalized->relation.rows()[1][2].NumericValue(),
+              scoop_expected, 1e-12);
+  // Scoop carries the most evidence (conf 1.7 vs 0.9).
+  EXPECT_NEAR(personalized->relation.rows()[1][3].NumericValue(), 1.7, 1e-12);
+}
+
+TEST_F(PersonalizeTest, PersonalizationKeepsAnswerSet) {
+  // Preferences are soft: personalizing never changes which tuples qualify.
+  Profile profile = AliceProfile();
+  const char* sql = "SELECT title FROM MOVIES WHERE year >= 2005 RANKED";
+  auto plain = session_.Query(sql);
+  ASSERT_TRUE(plain.ok());
+  auto personalized = session_.QueryPersonalized(sql, profile);
+  ASSERT_TRUE(personalized.ok());
+  EXPECT_EQ(personalized->relation.NumRows(), plain->relation.NumRows());
+}
+
+TEST_F(PersonalizeTest, ComposesWithExplicitPreferring) {
+  // Query-level preferences and injected profile preferences combine.
+  Profile profile = AliceProfile();
+  auto result = session_.QueryPersonalized(
+      "SELECT title FROM MOVIES "
+      "PREFERRING (duration <= 100) SCORE 1.0 CONF 0.5 RANKED",
+      profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // 1 explicit + 1 injected (alice_recent; others target absent relations).
+  // Count prefer nodes via a reparse-free check: scores exist for both the
+  // short movie (Scoop 96min) and recent movies.
+  bool scoop_scored = false;
+  for (const Tuple& row : result->relation.rows()) {
+    if (row[0] == S("Scoop") && row[1].is_numeric()) scoop_scored = true;
+  }
+  EXPECT_TRUE(scoop_scored);
+}
+
+TEST_F(PersonalizeTest, EmptyProfileIsNoOp) {
+  Profile profile("empty");
+  auto parsed = ParseQuery("SELECT title FROM MOVIES",
+                           session_.engine().catalog());
+  ASSERT_TRUE(parsed.ok());
+  auto injected = InjectProfile(&*parsed, profile, session_.engine().catalog());
+  ASSERT_TRUE(injected.ok());
+  EXPECT_EQ(*injected, 0u);
+  EXPECT_FALSE(parsed->plan->ContainsPrefer());
+}
+
+TEST_F(PersonalizeTest, InjectionBelowSortAndLimit) {
+  Profile profile = AliceProfile();
+  auto result = session_.QueryPersonalized(
+      "SELECT title, year FROM MOVIES ORDER BY year DESC LIMIT 2", profile);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->relation.NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,166 @@
+#include "plan/plan.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+using testing_util::MakeMovieCatalog;
+
+PreferencePtr ComedyPref() {
+  return Preference::Generic("p_comedy", "GENRES",
+                             Eq(Col("genre"), Lit("Comedy")),
+                             ScoringFunction::Constant(1.0), 0.8);
+}
+
+PlanPtr MovieGenreJoin() {
+  return plan::Join(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                    plan::Scan("MOVIES"), plan::Scan("GENRES"));
+}
+
+TEST(PlanShapeTest, ScanShape) {
+  Catalog catalog = MakeMovieCatalog();
+  auto shape = DerivePlanShape(*plan::Scan("MOVIES"), catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->schema.size(), 5u);
+  EXPECT_EQ(shape->key_columns, std::vector<size_t>{0});
+  EXPECT_EQ(shape->schema.column(0).qualifier, "MOVIES");
+}
+
+TEST(PlanShapeTest, ScanWithAliasRequalifies) {
+  Catalog catalog = MakeMovieCatalog();
+  auto shape = DerivePlanShape(*plan::Scan("MOVIES", "M"), catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->schema.column(0).qualifier, "M");
+}
+
+TEST(PlanShapeTest, UnknownTableFails) {
+  Catalog catalog = MakeMovieCatalog();
+  EXPECT_FALSE(DerivePlanShape(*plan::Scan("NOPE"), catalog).ok());
+}
+
+TEST(PlanShapeTest, JoinConcatenatesSchemasAndKeys) {
+  Catalog catalog = MakeMovieCatalog();
+  auto shape = DerivePlanShape(*MovieGenreJoin(), catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->schema.size(), 7u);
+  // MOVIES.m_id at 0, GENRES keys (m_id, genre) at 5 and 6.
+  EXPECT_EQ(shape->key_columns, (std::vector<size_t>{0, 5, 6}));
+}
+
+TEST(PlanShapeTest, SelectValidatesPredicateBinding) {
+  Catalog catalog = MakeMovieCatalog();
+  PlanPtr good = plan::Select(Ge(Col("year"), Lit(int64_t{2005})),
+                              plan::Scan("MOVIES"));
+  EXPECT_TRUE(DerivePlanShape(*good, catalog).ok());
+  PlanPtr bad = plan::Select(Ge(Col("genre"), Lit("x")), plan::Scan("MOVIES"));
+  EXPECT_FALSE(DerivePlanShape(*bad, catalog).ok());
+}
+
+TEST(PlanShapeTest, ProjectPreservesKeysImplicitly) {
+  Catalog catalog = MakeMovieCatalog();
+  PlanPtr p = plan::Project({"title"}, plan::Scan("MOVIES"));
+  auto shape = DerivePlanShape(*p, catalog);
+  ASSERT_TRUE(shape.ok());
+  // title plus implicitly kept m_id.
+  ASSERT_EQ(shape->schema.size(), 2u);
+  EXPECT_EQ(shape->schema.column(0).name, "title");
+  EXPECT_EQ(shape->schema.column(1).name, "m_id");
+  EXPECT_EQ(shape->key_columns, std::vector<size_t>{1});
+}
+
+TEST(PlanShapeTest, ProjectKeepsRequestedKeyInPlace) {
+  Catalog catalog = MakeMovieCatalog();
+  PlanPtr p = plan::Project({"m_id", "title"}, plan::Scan("MOVIES"));
+  auto shape = DerivePlanShape(*p, catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->schema.size(), 2u);
+  EXPECT_EQ(shape->key_columns, std::vector<size_t>{0});
+}
+
+TEST(PlanShapeTest, SetOpRequiresCompatibleShapes) {
+  Catalog catalog = MakeMovieCatalog();
+  PlanPtr ok = plan::Union(plan::Scan("MOVIES"), plan::Scan("MOVIES"));
+  EXPECT_TRUE(DerivePlanShape(*ok, catalog).ok());
+  PlanPtr bad = plan::Union(plan::Scan("MOVIES"), plan::Scan("GENRES"));
+  EXPECT_FALSE(DerivePlanShape(*bad, catalog).ok());
+}
+
+TEST(PlanShapeTest, SemiJoinKeepsLeftShape) {
+  Catalog catalog = MakeMovieCatalog();
+  PlanPtr p = plan::SemiJoin(Eq(Col("MOVIES.m_id"), Col("AWARDS.m_id")),
+                             plan::Scan("MOVIES"), plan::Scan("AWARDS"));
+  auto shape = DerivePlanShape(*p, catalog);
+  ASSERT_TRUE(shape.ok());
+  EXPECT_EQ(shape->schema.size(), 5u);
+  EXPECT_EQ(shape->key_columns, std::vector<size_t>{0});
+}
+
+TEST(PlanShapeTest, PreferValidatesPreferenceBinding) {
+  Catalog catalog = MakeMovieCatalog();
+  // Comedy preference binds over GENRES but not over MOVIES.
+  PlanPtr good = plan::Prefer(ComedyPref(), plan::Scan("GENRES"));
+  EXPECT_TRUE(DerivePlanShape(*good, catalog).ok());
+  PlanPtr bad = plan::Prefer(ComedyPref(), plan::Scan("MOVIES"));
+  EXPECT_FALSE(DerivePlanShape(*bad, catalog).ok());
+}
+
+TEST(PlanShapeTest, SortValidatesKeys) {
+  Catalog catalog = MakeMovieCatalog();
+  PlanPtr good = plan::Sort({{"year", true}}, plan::Scan("MOVIES"));
+  EXPECT_TRUE(DerivePlanShape(*good, catalog).ok());
+  PlanPtr bad = plan::Sort({{"nope", false}}, plan::Scan("MOVIES"));
+  EXPECT_FALSE(DerivePlanShape(*bad, catalog).ok());
+}
+
+TEST(PlanNodeTest, CloneIsDeep) {
+  PlanPtr original = plan::Prefer(
+      ComedyPref(),
+      plan::Select(Ge(Col("year"), Lit(int64_t{2005})), MovieGenreJoin()));
+  PlanPtr copy = original->Clone();
+  EXPECT_EQ(copy->ToString(), original->ToString());
+  EXPECT_NE(copy.get(), original.get());
+  EXPECT_NE(copy->children[0].get(), original->children[0].get());
+  // Preferences are shared (immutable), expressions are not.
+  EXPECT_EQ(copy->preference.get(), original->preference.get());
+  EXPECT_NE(copy->child().predicate.get(), original->child().predicate.get());
+}
+
+TEST(PlanNodeTest, ContainsPreferAndCounts) {
+  PlanPtr no_pref = MovieGenreJoin();
+  EXPECT_FALSE(no_pref->ContainsPrefer());
+  PlanPtr with_pref = plan::Prefer(ComedyPref(), MovieGenreJoin());
+  EXPECT_TRUE(with_pref->ContainsPrefer());
+  EXPECT_EQ(with_pref->CountKind(PlanKind::kPrefer), 1u);
+  EXPECT_EQ(with_pref->CountKind(PlanKind::kScan), 2u);
+}
+
+TEST(PlanNodeTest, ToStringShowsStructure) {
+  PlanPtr p = plan::Limit(
+      3, plan::Sort({{"year", true}},
+                    plan::Prefer(ComedyPref(), plan::Scan("GENRES"))));
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("Limit[3]"), std::string::npos);
+  EXPECT_NE(s.find("Sort[year DESC]"), std::string::npos);
+  EXPECT_NE(s.find("Prefer[p_comedy]"), std::string::npos);
+  EXPECT_NE(s.find("Scan[GENRES]"), std::string::npos);
+}
+
+TEST(ResolveProjectionTest, KeyPositionsCanonical) {
+  Schema schema({{"A", "x", ValueType::kInt},
+                 {"A", "y", ValueType::kInt},
+                 {"B", "k", ValueType::kInt}});
+  PlanShape input{schema, {0, 2}};
+  // Request columns so the keys land permuted; positions must come back
+  // sorted ascending.
+  auto res = ResolveProjection(input, {"y", "B.k"});
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->indices, (std::vector<size_t>{1, 2, 0}));
+  EXPECT_EQ(res->key_positions, (std::vector<size_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace prefdb

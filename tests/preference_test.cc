@@ -1,0 +1,106 @@
+#include "prefs/preference.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+
+TEST(PreferenceTest, AtomicPreferenceMatchesPaperP1) {
+  // Paper p_1[MOVIES] = (σ_{m_id=m3}, 0.8, 1): an explicit user rating.
+  PreferencePtr p = Preference::Atomic("MOVIES", "m_id", Value::Int(3), 0.8);
+  EXPECT_EQ(p->relations(), std::vector<std::string>{"MOVIES"});
+  EXPECT_DOUBLE_EQ(p->confidence(), 1.0);
+  EXPECT_EQ(p->condition().ToString(), "m_id = 3");
+
+  Schema schema({{"MOVIES", "m_id", ValueType::kInt}});
+  ExprPtr cond = p->CloneCondition();
+  ASSERT_TRUE(cond->Bind(schema).ok());
+  EXPECT_TRUE(IsTruthy(cond->Eval({Value::Int(3)})));
+  EXPECT_FALSE(IsTruthy(cond->Eval({Value::Int(1)})));
+
+  ScoringFunction scoring = p->CloneScoring();
+  ASSERT_TRUE(scoring.Bind(schema).ok());
+  EXPECT_DOUBLE_EQ(*scoring.Score({Value::Int(3)}), 0.8);
+}
+
+TEST(PreferenceTest, GenericPreferenceMatchesPaperP3) {
+  // Paper p_3[GENRES] = (σ_{genre='Comedy'}, 1, 0.8).
+  PreferencePtr p = Preference::Generic(
+      "p3", "GENRES", Eq(Col("genre"), Lit("Comedy")),
+      ScoringFunction::Constant(1.0), 0.8);
+  EXPECT_EQ(p->name(), "p3");
+  EXPECT_FALSE(p->IsMultiRelational());
+  EXPECT_EQ(p->membership(), nullptr);
+  EXPECT_DOUBLE_EQ(p->confidence(), 0.8);
+}
+
+TEST(PreferenceTest, ConfidenceClampedToUnitInterval) {
+  PreferencePtr p = Preference::Generic("p", "R", True(),
+                                        ScoringFunction::Constant(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(p->confidence(), 1.0);
+  PreferencePtr q = Preference::Generic("q", "R", True(),
+                                        ScoringFunction::Constant(1.0), -1.0);
+  EXPECT_DOUBLE_EQ(q->confidence(), 0.0);
+}
+
+TEST(PreferenceTest, MultiRelationalMatchesPaperP6) {
+  // Paper p_6[MOVIES × GENRES] = (σ_{genre='Action'}, S_m(year,2011), 0.8).
+  std::vector<ExprPtr> args;
+  args.push_back(Col("year"));
+  args.push_back(Lit(int64_t{2011}));
+  PreferencePtr p = Preference::MultiRelational(
+      "p6", {"MOVIES", "GENRES"}, Eq(Col("genre"), Lit("Action")),
+      ScoringFunction(Fn("recency", std::move(args))), 0.8);
+  EXPECT_TRUE(p->IsMultiRelational());
+  EXPECT_EQ(p->relations().size(), 2u);
+}
+
+TEST(PreferenceTest, MembershipMatchesPaperP7) {
+  // Paper p_7[MOVIES ⋉ AWARDS] = (σ_true, 1, 0.9).
+  PreferencePtr p = Preference::Membership(
+      "p7", "MOVIES", MembershipSpec{"AWARDS", "m_id", "m_id"}, True(),
+      ScoringFunction::Constant(1.0), 0.9);
+  ASSERT_NE(p->membership(), nullptr);
+  EXPECT_EQ(p->membership()->member_relation, "AWARDS");
+  EXPECT_EQ(p->membership()->local_column, "m_id");
+  EXPECT_TRUE(p->IsMultiRelational());  // Targets MOVIES and AWARDS.
+}
+
+TEST(PreferenceTest, ReferencedColumnsDeduplicated) {
+  PreferencePtr p = Preference::Generic(
+      "p", "RATINGS", Gt(Col("votes"), Lit(int64_t{500})),
+      ScoringFunction(Mul(Lit(0.1), Col("rating"))), 0.8);
+  std::vector<std::string> cols = p->ReferencedColumns();
+  ASSERT_EQ(cols.size(), 2u);  // rating, votes (sorted, unique).
+  EXPECT_EQ(cols[0], "rating");
+  EXPECT_EQ(cols[1], "votes");
+}
+
+TEST(PreferenceTest, ToStringIsInformative) {
+  PreferencePtr p = Preference::Generic(
+      "p3", "GENRES", Eq(Col("genre"), Lit("Comedy")),
+      ScoringFunction::Constant(1.0), 0.8);
+  std::string s = p->ToString();
+  EXPECT_NE(s.find("p3"), std::string::npos);
+  EXPECT_NE(s.find("GENRES"), std::string::npos);
+  EXPECT_NE(s.find("genre = 'Comedy'"), std::string::npos);
+  EXPECT_NE(s.find("0.80"), std::string::npos);
+}
+
+TEST(PreferenceTest, ClonedPartsAreIndependent) {
+  PreferencePtr p = Preference::Generic(
+      "p", "R", Eq(Col("x"), Lit(int64_t{1})), ScoringFunction(Col("x")), 0.5);
+  Schema schema({{"R", "x", ValueType::kInt}});
+  ExprPtr c1 = p->CloneCondition();
+  ExprPtr c2 = p->CloneCondition();
+  ASSERT_TRUE(c1->Bind(schema).ok());
+  // c2 is unbound and unaffected; binding it to a different schema works.
+  Schema other({{"Q", "x", ValueType::kInt}});
+  ASSERT_TRUE(c2->Bind(other).ok());
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,90 @@
+#include "common/rng.h"
+
+#include <map>
+
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000000), b.Uniform(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.Uniform(0, 1000000) == b.Uniform(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealWithinBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformReal(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ZipfRanksWithinBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.Zipf(100, 1.0);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 100);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(5);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(50, 1.0)]++;
+  // Rank 1 should be sampled far more often than rank 50.
+  EXPECT_GT(counts[1], counts[50] * 5);
+  // And more often than rank 2 (monotone head).
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(RngTest, ZipfHandlesConfigurationChange) {
+  Rng rng(9);
+  EXPECT_LE(rng.Zipf(10, 1.0), 10);
+  EXPECT_LE(rng.Zipf(3, 0.5), 3);  // Rebuilds the cached CDF.
+  EXPECT_LE(rng.Zipf(10, 1.0), 10);
+  EXPECT_EQ(rng.Zipf(1, 1.0), 1);  // Degenerate single-rank case.
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.2);
+}
+
+}  // namespace
+}  // namespace prefdb

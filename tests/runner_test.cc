@@ -1,0 +1,136 @@
+#include "exec/runner.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::I;
+using testing_util::MakeMovieCatalog;
+using testing_util::S;
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest() : session_(MakeMovieCatalog()) {}
+
+  QueryResult Run(std::string_view sql, QueryOptions options = QueryOptions()) {
+    auto result = session_.Query(sql, options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(*result) : QueryResult{};
+  }
+
+  Session session_;
+};
+
+TEST_F(RunnerTest, EndToEndTopK) {
+  QueryResult result = Run(
+      "SELECT title FROM MOVIES "
+      "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 1 "
+      "TOP 2 BY SCORE");
+  ASSERT_EQ(result.relation.NumRows(), 2u);
+  // Output shape: title + score + conf.
+  ASSERT_EQ(result.relation.schema().size(), 3u);
+  EXPECT_EQ(result.relation.schema().column(0).name, "title");
+  EXPECT_EQ(result.relation.schema().column(1).name, "score");
+  EXPECT_EQ(result.relation.schema().column(2).name, "conf");
+  // Wall Street (2010) ranks above Gran Torino (2008).
+  EXPECT_EQ(result.relation.rows()[0][0], S("Wall Street"));
+  EXPECT_EQ(result.relation.rows()[1][0], S("Gran Torino"));
+  EXPECT_NEAR(result.relation.rows()[0][1].NumericValue(), 2010.0 / 2011.0,
+              1e-12);
+}
+
+TEST_F(RunnerTest, SelectStarKeepsAllColumnsPlusScores) {
+  QueryResult result = Run(
+      "SELECT * FROM MOVIES PREFERRING (true) SCORE 0.5 CONF 1 RANKED");
+  EXPECT_EQ(result.relation.schema().size(), 7u);  // 5 + score + conf.
+  EXPECT_EQ(result.relation.NumRows(), 5u);
+}
+
+TEST_F(RunnerTest, PreferenceColumnsHiddenFromOutput) {
+  // `duration` is needed by the preference but not selected.
+  QueryResult result = Run(
+      "SELECT title FROM MOVIES "
+      "PREFERRING (duration <= 120) SCORE around(duration, 120) CONF 0.5 "
+      "RANKED");
+  ASSERT_EQ(result.relation.schema().size(), 3u);
+  EXPECT_EQ(result.relation.schema().column(0).name, "title");
+}
+
+TEST_F(RunnerTest, StatsArePerQuery) {
+  QueryResult first = Run("SELECT title FROM MOVIES");
+  QueryResult second = Run("SELECT title FROM MOVIES");
+  EXPECT_EQ(first.stats.engine_queries, second.stats.engine_queries);
+  EXPECT_GT(first.stats.tuples_materialized, 0u);
+  EXPECT_GE(first.millis, 0.0);
+}
+
+TEST_F(RunnerTest, ExecutedPlanIsReported) {
+  QueryOptions options;
+  options.strategy = StrategyKind::kGBU;
+  QueryResult result = Run(
+      "SELECT title FROM MOVIES PREFERRING (year >= 2005) SCORE 1.0 CONF 1 "
+      "RANKED",
+      options);
+  EXPECT_NE(result.executed_plan.find("Prefer"), std::string::npos);
+}
+
+TEST_F(RunnerTest, OptimizeFlagControlsRewrites) {
+  const char* sql =
+      "SELECT title, genre FROM MOVIES "
+      "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+      "PREFERRING (genre = 'Comedy') SCORE 1.0 CONF 0.8 RANKED";
+  QueryOptions no_opt;
+  no_opt.strategy = StrategyKind::kBU;
+  no_opt.optimize = false;
+  QueryResult raw = Run(sql, no_opt);
+  // Unoptimized: prefer above the join.
+  EXPECT_LT(raw.executed_plan.find("Prefer"), raw.executed_plan.find("Join"));
+
+  QueryOptions opt;
+  opt.strategy = StrategyKind::kBU;
+  QueryResult optimized = Run(sql, opt);
+  // Rule 4 pushed the prefer below the join.
+  EXPECT_GT(optimized.executed_plan.find("Prefer"),
+            optimized.executed_plan.find("Join"));
+  // Same answers either way.
+  testing_util::ExpectSameRows(optimized.relation, raw.relation);
+}
+
+TEST_F(RunnerTest, ParseErrorsSurface) {
+  auto result = session_.Query("SELECT FROM");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(RunnerTest, UnknownAggregateSurfaces) {
+  auto result = session_.Query("SELECT title FROM MOVIES USING AGG nope");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(RunnerTest, DefaultAggregateIsWeightedSum) {
+  // Two preferences on m1: F_S must combine them.
+  QueryResult result = Run(
+      "SELECT title FROM MOVIES "
+      "PREFERRING (year >= 2008) SCORE 1.0 CONF 1, "
+      "           (duration <= 120) SCORE 0.0 CONF 1 "
+      "RANKED");
+  // Gran Torino matches both: score (1*1 + 1*0)/2 = 0.5, conf 2.
+  for (const Tuple& row : result.relation.rows()) {
+    if (row[0] == S("Gran Torino")) {
+      EXPECT_NEAR(row[1].NumericValue(), 0.5, 1e-12);
+      EXPECT_NEAR(row[2].NumericValue(), 2.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(RunnerTest, EmptyResultIsFine) {
+  QueryResult result = Run(
+      "SELECT title FROM MOVIES WHERE year > 3000 "
+      "PREFERRING (true) SCORE 1.0 CONF 1 RANKED");
+  EXPECT_EQ(result.relation.NumRows(), 0u);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,95 @@
+#include "types/schema.h"
+
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+Schema MovieSchema() {
+  return Schema({{"MOVIES", "m_id", ValueType::kInt},
+                 {"MOVIES", "title", ValueType::kString},
+                 {"MOVIES", "year", ValueType::kInt}});
+}
+
+TEST(SchemaTest, FindUnqualified) {
+  Schema s = MovieSchema();
+  auto idx = s.FindColumn("title");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+}
+
+TEST(SchemaTest, FindQualified) {
+  Schema s = MovieSchema();
+  auto idx = s.FindColumn("MOVIES.year");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 2u);
+}
+
+TEST(SchemaTest, FindIsCaseInsensitive) {
+  Schema s = MovieSchema();
+  EXPECT_TRUE(s.FindColumn("TITLE").ok());
+  EXPECT_TRUE(s.FindColumn("movies.M_ID").ok());
+}
+
+TEST(SchemaTest, MissingColumnIsNotFound) {
+  Schema s = MovieSchema();
+  auto idx = s.FindColumn("director");
+  EXPECT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.FindColumnOrNegative("director"), -1);
+}
+
+TEST(SchemaTest, WrongQualifierIsNotFound) {
+  Schema s = MovieSchema();
+  EXPECT_FALSE(s.FindColumn("GENRES.m_id").ok());
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedReferenceFails) {
+  Schema joined = MovieSchema().Concat(
+      Schema({{"GENRES", "m_id", ValueType::kInt},
+              {"GENRES", "genre", ValueType::kString}}));
+  auto idx = joined.FindColumn("m_id");
+  EXPECT_FALSE(idx.ok());
+  EXPECT_EQ(idx.status().code(), StatusCode::kInvalidArgument);
+  // Qualification resolves the ambiguity.
+  EXPECT_EQ(*joined.FindColumn("GENRES.m_id"), 3u);
+  EXPECT_EQ(*joined.FindColumn("MOVIES.m_id"), 0u);
+}
+
+TEST(SchemaTest, ConcatPreservesOrder) {
+  Schema joined = MovieSchema().Concat(
+      Schema({{"GENRES", "genre", ValueType::kString}}));
+  ASSERT_EQ(joined.size(), 4u);
+  EXPECT_EQ(joined.column(3).name, "genre");
+}
+
+TEST(SchemaTest, SelectSubset) {
+  Schema s = MovieSchema().Select({2, 0});
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.column(0).name, "year");
+  EXPECT_EQ(s.column(1).name, "m_id");
+}
+
+TEST(SchemaTest, WithQualifier) {
+  Schema s = MovieSchema().WithQualifier("M");
+  EXPECT_EQ(s.column(0).qualifier, "M");
+  EXPECT_TRUE(s.FindColumn("M.title").ok());
+  EXPECT_FALSE(s.FindColumn("MOVIES.title").ok());
+}
+
+TEST(SchemaTest, FullNameAndToString) {
+  Column c{"T", "x", ValueType::kInt};
+  EXPECT_EQ(c.FullName(), "T.x");
+  Column bare{"", "y", ValueType::kDouble};
+  EXPECT_EQ(bare.FullName(), "y");
+  EXPECT_EQ(Schema({c}).ToString(), "(T.x INT)");
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(MovieSchema(), MovieSchema());
+  Schema other = MovieSchema().WithQualifier("M");
+  EXPECT_FALSE(MovieSchema() == other);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,72 @@
+#include "prefs/score_conf.h"
+
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+TEST(ScoreConfTest, DefaultIsIdentity) {
+  ScoreConf sc;
+  EXPECT_TRUE(sc.IsDefault());
+  EXPECT_FALSE(sc.has_score());
+  EXPECT_EQ(sc.conf(), 0.0);
+  EXPECT_EQ(sc, ScoreConf::Identity());
+}
+
+TEST(ScoreConfTest, KnownPair) {
+  ScoreConf sc = ScoreConf::Known(0.8, 1.0);
+  EXPECT_FALSE(sc.IsDefault());
+  EXPECT_TRUE(sc.has_score());
+  EXPECT_DOUBLE_EQ(sc.score(), 0.8);
+  EXPECT_DOUBLE_EQ(sc.conf(), 1.0);
+}
+
+TEST(ScoreConfTest, ZeroConfidenceNormalizesToIdentity) {
+  // A known score backed by no confidence carries no evidence; normalizing
+  // keeps F_S associative in all edge cases (see header).
+  EXPECT_TRUE(ScoreConf::Known(0.5, 0.0).IsDefault());
+  EXPECT_TRUE(ScoreConf::Known(0.5, -1.0).IsDefault());
+}
+
+TEST(ScoreConfTest, NonFiniteNormalizesToIdentity) {
+  EXPECT_TRUE(ScoreConf::Known(std::nan(""), 1.0).IsDefault());
+  EXPECT_TRUE(
+      ScoreConf::Known(0.5, std::numeric_limits<double>::infinity()).IsDefault());
+}
+
+TEST(ScoreConfTest, EqualityAndApproxEquality) {
+  ScoreConf a = ScoreConf::Known(0.5, 0.9);
+  ScoreConf b = ScoreConf::Known(0.5, 0.9);
+  ScoreConf c = ScoreConf::Known(0.5 + 1e-12, 0.9);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(a.ApproxEquals(c, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(ScoreConf::Known(0.6, 0.9), 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(ScoreConf::Identity()));
+  EXPECT_TRUE(ScoreConf::Identity().ApproxEquals(ScoreConf::Identity()));
+}
+
+TEST(ScoreConfTest, CombinedValuesMayExceedOne) {
+  // Paper §IV-A: combining preferences can push score/conf beyond 1.
+  ScoreConf sc = ScoreConf::Known(1.0, 2.7);
+  EXPECT_DOUBLE_EQ(sc.conf(), 2.7);
+}
+
+TEST(ScoreConfTest, MatchCountSemantics) {
+  EXPECT_EQ(ScoreConf::Identity().count(), 0u);
+  EXPECT_EQ(ScoreConf::Known(0.5, 0.5).count(), 1u);
+  ScoreConf sc = ScoreConf::Known(0.5, 0.5).WithCount(3);
+  EXPECT_EQ(sc.count(), 3u);
+  // The identity cannot carry a count.
+  EXPECT_EQ(ScoreConf::Identity().WithCount(5).count(), 0u);
+  // Count does not participate in pair equality (it is orthogonal).
+  EXPECT_EQ(sc, ScoreConf::Known(0.5, 0.5));
+}
+
+TEST(ScoreConfTest, ToString) {
+  EXPECT_EQ(ScoreConf::Identity().ToString(), "<_|_, 0>");
+  EXPECT_EQ(ScoreConf::Known(0.8, 1.0).ToString(), "<0.800, 1.000>");
+}
+
+}  // namespace
+}  // namespace prefdb

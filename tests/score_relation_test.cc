@@ -1,0 +1,103 @@
+#include "palgebra/score_relation.h"
+
+#include "gtest/gtest.h"
+#include "palgebra/p_relation.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+using testing_util::S;
+
+TEST(ScoreRelationTest, LookupMissYieldsDefault) {
+  ScoreRelation sr;
+  EXPECT_TRUE(sr.Lookup({I(1)}).IsDefault());
+  EXPECT_TRUE(sr.empty());
+}
+
+TEST(ScoreRelationTest, SetAndLookup) {
+  ScoreRelation sr;
+  sr.Set({I(1)}, ScoreConf::Known(0.8, 1.0));
+  EXPECT_EQ(sr.size(), 1u);
+  EXPECT_DOUBLE_EQ(sr.Lookup({I(1)}).score(), 0.8);
+  EXPECT_TRUE(sr.Lookup({I(2)}).IsDefault());
+}
+
+TEST(ScoreRelationTest, DefaultPairsNotStored) {
+  // The paper's invariant: R_P holds only non-default pairs, |R_P| <= |R|.
+  ScoreRelation sr;
+  sr.Set({I(1)}, ScoreConf::Identity());
+  EXPECT_TRUE(sr.empty());
+  sr.Set({I(1)}, ScoreConf::Known(0.5, 0.5));
+  EXPECT_EQ(sr.size(), 1u);
+  // Overwriting with the default erases the entry.
+  sr.Set({I(1)}, ScoreConf::Identity());
+  EXPECT_TRUE(sr.empty());
+}
+
+TEST(ScoreRelationTest, CompositeKeys) {
+  ScoreRelation sr;
+  sr.Set({I(1), S("Comedy")}, ScoreConf::Known(1.0, 0.8));
+  sr.Set({I(1), S("Drama")}, ScoreConf::Known(0.4, 0.6));
+  EXPECT_EQ(sr.size(), 2u);
+  EXPECT_DOUBLE_EQ(sr.Lookup({I(1), S("Comedy")}).score(), 1.0);
+  EXPECT_DOUBLE_EQ(sr.Lookup({I(1), S("Drama")}).score(), 0.4);
+}
+
+TEST(ScoreRelationTest, ToStringShowsEntries) {
+  ScoreRelation sr;
+  sr.Set({I(7)}, ScoreConf::Known(0.5, 0.9));
+  std::string s = sr.ToString();
+  EXPECT_NE(s.find("(7)"), std::string::npos);
+  EXPECT_NE(s.find("0.500"), std::string::npos);
+}
+
+TEST(PRelationTest, ScoreOfUsesKeyColumns) {
+  Relation rel(
+      Schema({{"T", "id", ValueType::kInt}, {"T", "x", ValueType::kString}}));
+  rel.set_key_columns({0});
+  rel.AddRow({I(1), S("a")});
+  rel.AddRow({I(2), S("b")});
+  PRelation p(std::move(rel));
+  p.scores.Set({I(2)}, ScoreConf::Known(0.9, 1.0));
+  EXPECT_TRUE(p.ScoreOf(p.rel.rows()[0]).IsDefault());
+  EXPECT_DOUBLE_EQ(p.ScoreOf(p.rel.rows()[1]).score(), 0.9);
+}
+
+TEST(PRelationTest, ToScoredRelationAppendsColumns) {
+  Relation rel(Schema({{"T", "id", ValueType::kInt}}));
+  rel.set_key_columns({0});
+  rel.AddRow({I(1)});
+  rel.AddRow({I(2)});
+  PRelation p(std::move(rel));
+  p.scores.Set({I(1)}, ScoreConf::Known(0.8, 1.2));
+
+  Relation scored = ToScoredRelation(p);
+  ASSERT_EQ(scored.schema().size(), 3u);
+  EXPECT_EQ(scored.schema().column(1).name, "score");
+  EXPECT_EQ(scored.schema().column(2).name, "conf");
+  // Scored tuple.
+  EXPECT_EQ(scored.rows()[0][1], D(0.8));
+  EXPECT_EQ(scored.rows()[0][2], D(1.2));
+  // Default tuple: NULL score (⊥), zero confidence.
+  EXPECT_TRUE(scored.rows()[1][1].is_null());
+  EXPECT_EQ(scored.rows()[1][2], D(0.0));
+  // Keys carried through.
+  EXPECT_EQ(scored.key_columns(), std::vector<size_t>{0});
+}
+
+TEST(PRelationTest, ToStringShowsScores) {
+  Relation rel(Schema({{"T", "id", ValueType::kInt}}));
+  rel.set_key_columns({0});
+  rel.AddRow({I(1)});
+  PRelation p(std::move(rel));
+  p.scores.Set({I(1)}, ScoreConf::Known(0.8, 1.0));
+  std::string s = p.ToString();
+  EXPECT_NE(s.find("1 rows, 1 scored"), std::string::npos);
+  EXPECT_NE(s.find("<0.800, 1.000>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,110 @@
+#include "prefs/scoring.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+
+Schema MovieSchema() {
+  return Schema({{"MOVIES", "year", ValueType::kInt},
+                 {"MOVIES", "duration", ValueType::kInt},
+                 {"MOVIES", "title", ValueType::kString}});
+}
+
+TEST(ScoringTest, ConstantScore) {
+  ScoringFunction s = ScoringFunction::Constant(0.8);
+  ASSERT_TRUE(s.Bind(MovieSchema()).ok());
+  auto score = s.Score({Value::Int(2008), Value::Int(116), Value::String("GT")});
+  ASSERT_TRUE(score.has_value());
+  EXPECT_DOUBLE_EQ(*score, 0.8);
+}
+
+TEST(ScoringTest, ConstantScoreClampedToUnitInterval) {
+  ScoringFunction high = ScoringFunction::Constant(3.0);
+  ASSERT_TRUE(high.Bind(MovieSchema()).ok());
+  EXPECT_DOUBLE_EQ(*high.Score({Value::Int(0), Value::Int(0), Value::String("")}),
+                   1.0);
+  ScoringFunction low = ScoringFunction::Constant(-1.0);
+  ASSERT_TRUE(low.Bind(MovieSchema()).ok());
+  EXPECT_DOUBLE_EQ(*low.Score({Value::Int(0), Value::Int(0), Value::String("")}),
+                   0.0);
+}
+
+TEST(ScoringTest, AttributeBasedScore) {
+  // The paper's p_5: 0.5 * S_m(year, 2011) + 0.5 * S_d(duration, 120).
+  ScoringFunction s(Add(
+      Mul(Lit(0.5), Fn("recency", [] {
+            std::vector<ExprPtr> v;
+            v.push_back(Col("year"));
+            v.push_back(Lit(int64_t{2011}));
+            return v;
+          }())),
+      Mul(Lit(0.5), Fn("around", [] {
+            std::vector<ExprPtr> v;
+            v.push_back(Col("duration"));
+            v.push_back(Lit(int64_t{120}));
+            return v;
+          }()))));
+  ASSERT_TRUE(s.Bind(MovieSchema()).ok());
+  auto score = s.Score({Value::Int(2008), Value::Int(116), Value::String("GT")});
+  ASSERT_TRUE(score.has_value());
+  double expected = 0.5 * (2008.0 / 2011.0) + 0.5 * (1.0 - 4.0 / 120.0);
+  EXPECT_NEAR(*score, expected, 1e-12);
+}
+
+TEST(ScoringTest, ResultClampedToUnitInterval) {
+  ScoringFunction s(Mul(Col("year"), Lit(int64_t{10})));
+  ASSERT_TRUE(s.Bind(MovieSchema()).ok());
+  EXPECT_DOUBLE_EQ(*s.Score({Value::Int(5), Value::Int(0), Value::String("")}),
+                   1.0);
+}
+
+TEST(ScoringTest, NullAttributeYieldsBottom) {
+  // S maps to [0,1] ∪ {⊥}: a NULL input produces ⊥ (nullopt), meaning the
+  // preference contributes nothing for this tuple.
+  ScoringFunction s(Fn("recency", [] {
+    std::vector<ExprPtr> v;
+    v.push_back(Col("year"));
+    v.push_back(Lit(int64_t{2011}));
+    return v;
+  }()));
+  ASSERT_TRUE(s.Bind(MovieSchema()).ok());
+  EXPECT_FALSE(s.Score({Value::Null(), Value::Int(0), Value::String("")})
+                   .has_value());
+}
+
+TEST(ScoringTest, NonNumericResultYieldsBottom) {
+  ScoringFunction s(Col("title"));
+  ASSERT_TRUE(s.Bind(MovieSchema()).ok());
+  EXPECT_FALSE(s.Score({Value::Int(0), Value::Int(0), Value::String("x")})
+                   .has_value());
+}
+
+TEST(ScoringTest, BindFailsOnUnknownColumn) {
+  ScoringFunction s(Col("budget"));
+  EXPECT_FALSE(s.Bind(MovieSchema()).ok());
+}
+
+TEST(ScoringTest, CloneIsIndependent) {
+  ScoringFunction s(Col("year"));
+  ScoringFunction copy = s.Clone();
+  ASSERT_TRUE(copy.Bind(MovieSchema()).ok());
+  EXPECT_TRUE(copy.Score({Value::Int(1), Value::Int(0), Value::String("")})
+                  .has_value());
+  EXPECT_TRUE(s.Equals(copy));
+}
+
+TEST(ScoringTest, CollectColumnsAndToString) {
+  ScoringFunction s(Mul(Lit(0.1), Col("year")));
+  std::vector<std::string> cols;
+  s.CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 1u);
+  EXPECT_EQ(cols[0], "year");
+  EXPECT_EQ(s.ToString(), "(0.1 * year)");
+}
+
+}  // namespace
+}  // namespace prefdb

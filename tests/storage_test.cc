@@ -1,0 +1,144 @@
+#include "storage/catalog.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::I;
+using testing_util::S;
+
+TEST(TableTest, CreateQualifiesSchemaWithName) {
+  auto table = Table::Create(
+      "T", Schema({{"", "id", ValueType::kInt}, {"", "x", ValueType::kString}}),
+      {{I(1), S("a")}, {I(2), S("b")}}, {"id"});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().column(0).qualifier, "T");
+  EXPECT_EQ((*table)->NumRows(), 2u);
+  EXPECT_EQ((*table)->primary_key(), std::vector<size_t>{0});
+}
+
+TEST(TableTest, CreateKeepsQualifiersWhenAsked) {
+  auto table = Table::Create(
+      "TMP", Schema({{"MOVIES", "m_id", ValueType::kInt}}), {{I(1)}}, {"m_id"},
+      /*qualify_with_name=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->schema().column(0).qualifier, "MOVIES");
+}
+
+TEST(TableTest, CompositeKeysSortedCanonically) {
+  auto table = Table::Create(
+      "T",
+      Schema({{"", "a", ValueType::kInt},
+              {"", "b", ValueType::kInt},
+              {"", "c", ValueType::kInt}}),
+      {}, {"c", "a"});  // Declared out of order.
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->primary_key(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(TableTest, CreateFailsOnUnknownKeyColumn) {
+  auto table = Table::Create("T", Schema({{"", "a", ValueType::kInt}}), {},
+                             {"missing"});
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(TableTest, CreateFailsOnMalformedRow) {
+  auto table = Table::Create("T", Schema({{"", "a", ValueType::kInt}}),
+                             {{I(1), I(2)}}, {"a"});
+  EXPECT_FALSE(table.ok());
+}
+
+TEST(HashIndexTest, LookupFindsAllPositions) {
+  Relation rel(Schema({{"T", "k", ValueType::kInt}}));
+  rel.AddRow({I(5)});
+  rel.AddRow({I(7)});
+  rel.AddRow({I(5)});
+  HashIndex index(rel, 0);
+  EXPECT_EQ(index.NumKeys(), 2u);
+  EXPECT_EQ(index.Lookup(I(5)).size(), 2u);
+  EXPECT_EQ(index.Lookup(I(7)).size(), 1u);
+  EXPECT_TRUE(index.Lookup(I(9)).empty());
+}
+
+TEST(TableTest, EnsureIndexIsCachedAndQueryable) {
+  auto table_or = Table::Create(
+      "T", Schema({{"", "id", ValueType::kInt}, {"", "g", ValueType::kInt}}),
+      {{I(1), I(10)}, {I(2), I(10)}, {I(3), I(20)}}, {"id"});
+  ASSERT_TRUE(table_or.ok());
+  Table& table = **table_or;
+  EXPECT_FALSE(table.HasIndex(1));
+  const HashIndex& index = table.EnsureIndex(1);
+  EXPECT_TRUE(table.HasIndex(1));
+  EXPECT_EQ(index.Lookup(I(10)).size(), 2u);
+  EXPECT_EQ(&table.EnsureIndex(1), &index);  // Cached instance.
+}
+
+TEST(TableTest, StatsComputedAndCached) {
+  auto table_or = Table::Create(
+      "T", Schema({{"", "id", ValueType::kInt}, {"", "x", ValueType::kDouble}}),
+      {{I(1), testing_util::D(1.5)},
+       {I(2), testing_util::D(3.5)},
+       {I(3), testing_util::N()},
+       {I(4), testing_util::D(1.5)}},
+      {"id"});
+  ASSERT_TRUE(table_or.ok());
+  Table& table = **table_or;
+  const ColumnStats& stats = table.Stats(1);
+  EXPECT_EQ(stats.row_count, 4u);
+  EXPECT_EQ(stats.null_count, 1u);
+  EXPECT_EQ(stats.distinct_count, 2u);
+  EXPECT_TRUE(stats.has_range);
+  EXPECT_DOUBLE_EQ(stats.min, 1.5);
+  EXPECT_DOUBLE_EQ(stats.max, 3.5);
+  EXPECT_EQ(&table.Stats(1), &stats);
+}
+
+TEST(TableTest, StatsOnStringColumnHasNoRange) {
+  auto table_or = Table::Create(
+      "T", Schema({{"", "s", ValueType::kString}}), {{S("a")}, {S("b")}}, {"s"});
+  ASSERT_TRUE(table_or.ok());
+  EXPECT_FALSE((*table_or)->Stats(0).has_range);
+  EXPECT_EQ((*table_or)->Stats(0).distinct_count, 2u);
+}
+
+TEST(CatalogTest, AddAndGet) {
+  Catalog catalog = testing_util::MakeMovieCatalog();
+  EXPECT_TRUE(catalog.HasTable("MOVIES"));
+  EXPECT_TRUE(catalog.HasTable("movies"));  // Case-insensitive.
+  auto table = catalog.GetTable("movies");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->name(), "MOVIES");
+  EXPECT_FALSE(catalog.GetTable("NOPE").ok());
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.CreateTable("T", Schema({{"", "a", ValueType::kInt}}), {}, {"a"})
+          .ok());
+  Status st =
+      catalog.CreateTable("t", Schema({{"", "a", ValueType::kInt}}), {}, {"a"});
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog = testing_util::MakeMovieCatalog();
+  EXPECT_TRUE(catalog.HasTable("AWARDS"));
+  catalog.DropTable("awards");
+  EXPECT_FALSE(catalog.HasTable("AWARDS"));
+  catalog.DropTable("awards");  // Idempotent.
+}
+
+TEST(CatalogTest, TableNamesSortedAndTotals) {
+  Catalog catalog = testing_util::MakeMovieCatalog();
+  std::vector<std::string> names = catalog.TableNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.front(), "AWARDS");
+  EXPECT_EQ(names.back(), "RATINGS");
+  EXPECT_EQ(catalog.TotalRows(), 5u + 3u + 6u + 4u + 1u);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,181 @@
+#include "exec/strategy.h"
+
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "optimizer/extended_optimizer.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using namespace eb;  // NOLINT
+using testing_util::I;
+using testing_util::MakeMovieCatalog;
+using testing_util::S;
+
+class StrategiesTest : public ::testing::Test {
+ protected:
+  StrategiesTest()
+      : engine_(MakeMovieCatalog()), agg_(**GetAggregateFunction("wsum")) {}
+
+  PRelation Run(StrategyKind kind, const PlanNode& plan) {
+    auto strategy = MakeStrategy(kind);
+    auto result = strategy->Execute(plan, agg_, &engine_);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(*result) : PRelation();
+  }
+
+  PreferencePtr GenrePref() {
+    return Preference::Generic("p_genre", "GENRES",
+                               Eq(Col("genre"), Lit("Comedy")),
+                               ScoringFunction::Constant(1.0), 0.8);
+  }
+
+  PlanPtr SimpleExtendedPlan() {
+    // λ_genre(σ_{year >= 2005}(MOVIES ⋈ GENRES)).
+    return plan::Prefer(
+        GenrePref(),
+        plan::Select(Ge(Col("year"), Lit(int64_t{2005})),
+                     plan::Join(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                                plan::Scan("MOVIES"), plan::Scan("GENRES"))));
+  }
+
+  Engine engine_;
+  const AggregateFunction& agg_;
+};
+
+TEST_F(StrategiesTest, NamesAndFactory) {
+  EXPECT_EQ(StrategyKindName(StrategyKind::kFtP), "FtP");
+  EXPECT_EQ(StrategyKindName(StrategyKind::kGBU), "GBU");
+  for (StrategyKind kind :
+       {StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+        StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined}) {
+    auto strategy = MakeStrategy(kind);
+    ASSERT_NE(strategy, nullptr);
+    EXPECT_EQ(strategy->name(), StrategyKindName(kind));
+  }
+}
+
+TEST_F(StrategiesTest, FtPScoresCorrectTuples) {
+  PRelation result = Run(StrategyKind::kFtP, *SimpleExtendedPlan());
+  // year >= 2005: m1 (Drama), m2 (Drama), m4 (Thriller), m5 (Comedy).
+  EXPECT_EQ(result.rel.NumRows(), 4u);
+  EXPECT_EQ(result.scores.size(), 1u);
+  // Scoop/Comedy got ⟨1.0, 0.8⟩.
+  bool found = false;
+  for (const Tuple& row : result.rel.rows()) {
+    if (row[1] == S("Scoop")) {
+      EXPECT_NEAR(result.ScoreOf(row).score(), 1.0, 1e-12);
+      EXPECT_NEAR(result.ScoreOf(row).conf(), 0.8, 1e-12);
+      found = true;
+    } else {
+      EXPECT_TRUE(result.ScoreOf(row).IsDefault());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StrategiesTest, FtPIssuesSingleEngineQuery) {
+  engine_.ResetStats();
+  Run(StrategyKind::kFtP, *SimpleExtendedPlan());
+  EXPECT_EQ(engine_.stats().engine_queries, 1u);
+}
+
+TEST_F(StrategiesTest, GBUGroupsNonPreferenceSubtrees) {
+  engine_.ResetStats();
+  Run(StrategyKind::kGBU, *SimpleExtendedPlan());
+  // One grouped query for σ(⋈) below the prefer; the prefer itself runs in
+  // the middle layer (the root here is the prefer).
+  EXPECT_EQ(engine_.stats().engine_queries, 1u);
+}
+
+TEST_F(StrategiesTest, GBUDropsTemporaryTables) {
+  size_t tables_before = engine_.catalog().TableNames().size();
+  // Plan with an operator above the prefer forces a temp registration.
+  PlanPtr p = plan::Project({"title", "genre"}, SimpleExtendedPlan());
+  Run(StrategyKind::kGBU, *p);
+  EXPECT_EQ(engine_.catalog().TableNames().size(), tables_before);
+}
+
+TEST_F(StrategiesTest, GBUHandlesOperatorsAbovePrefer) {
+  PlanPtr p = plan::Project({"title", "genre"}, SimpleExtendedPlan());
+  PRelation result = Run(StrategyKind::kGBU, *p);
+  EXPECT_EQ(result.rel.NumRows(), 4u);
+  EXPECT_EQ(result.scores.size(), 1u);
+}
+
+TEST_F(StrategiesTest, PlugInBasicIssuesOneQueryPerPreference) {
+  PlanPtr two_prefs = plan::Prefer(
+      Preference::Generic("p_year", "MOVIES", Ge(Col("year"), Lit(int64_t{2006})),
+                          ScoringFunction::Constant(0.5), 0.9),
+      SimpleExtendedPlan());
+  engine_.ResetStats();
+  Run(StrategyKind::kPlugInBasic, *two_prefs);
+  // Q_NP + one rewritten query per preference = 3.
+  EXPECT_EQ(engine_.stats().engine_queries, 3u);
+
+  engine_.ResetStats();
+  Run(StrategyKind::kPlugInCombined, *two_prefs);
+  // Q_NP + one disjunctive query = 2.
+  EXPECT_EQ(engine_.stats().engine_queries, 2u);
+}
+
+TEST_F(StrategiesTest, SetOpsBelowPreferHandledByBUAndGBU) {
+  PlanPtr left = plan::Prefer(
+      Preference::Generic("p", "MOVIES", Ge(Col("year"), Lit(int64_t{2006})),
+                          ScoringFunction::Constant(1.0), 1.0),
+      plan::Scan("MOVIES"));
+  PlanPtr p = plan::Union(std::move(left), plan::Scan("MOVIES"));
+
+  for (StrategyKind kind : {StrategyKind::kBU, StrategyKind::kGBU}) {
+    PRelation result = Run(kind, *p);
+    EXPECT_EQ(result.rel.NumRows(), 5u) << StrategyKindName(kind);
+    EXPECT_EQ(result.scores.size(), 3u) << StrategyKindName(kind);
+  }
+
+  // FtP and the plug-ins refuse: tuple origin is lost in the flat result.
+  for (StrategyKind kind : {StrategyKind::kFtP, StrategyKind::kPlugInBasic,
+                            StrategyKind::kPlugInCombined}) {
+    auto strategy = MakeStrategy(kind);
+    auto result = strategy->Execute(*p, agg_, &engine_);
+    ASSERT_FALSE(result.ok()) << StrategyKindName(kind);
+    EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  }
+}
+
+TEST_F(StrategiesTest, MembershipPreferenceAcrossStrategies) {
+  PlanPtr p = plan::Prefer(
+      Preference::Membership("p7", "MOVIES",
+                             MembershipSpec{"AWARDS", "m_id", "m_id"}, True(),
+                             ScoringFunction::Constant(1.0), 0.9),
+      plan::Scan("MOVIES"));
+  for (StrategyKind kind :
+       {StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+        StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined}) {
+    PRelation result = Run(kind, *p);
+    EXPECT_EQ(result.rel.NumRows(), 5u) << StrategyKindName(kind);
+    ASSERT_EQ(result.scores.size(), 1u) << StrategyKindName(kind);
+    EXPECT_NEAR(result.scores.Lookup({I(3)}).conf(), 0.9, 1e-12)
+        << StrategyKindName(kind);
+  }
+}
+
+TEST_F(StrategiesTest, MultiRelationalPreferenceAcrossStrategies) {
+  PreferencePtr multi = Preference::MultiRelational(
+      "p6", {"MOVIES", "GENRES"},
+      And(Eq(Col("genre"), Lit("Drama")), Ge(Col("year"), Lit(int64_t{2008}))),
+      ScoringFunction::Constant(0.7), 0.8);
+  PlanPtr p = plan::Prefer(
+      multi, plan::Join(Eq(Col("MOVIES.m_id"), Col("GENRES.m_id")),
+                        plan::Scan("MOVIES"), plan::Scan("GENRES")));
+  for (StrategyKind kind :
+       {StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+        StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined}) {
+    PRelation result = Run(kind, *p);
+    // Dramas from >= 2008: m1 and m2.
+    EXPECT_EQ(result.scores.size(), 2u) << StrategyKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace prefdb

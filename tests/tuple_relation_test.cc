@@ -1,0 +1,98 @@
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "types/relation.h"
+#include "types/tuple.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::I;
+using testing_util::S;
+
+TEST(TupleTest, ConcatAndProject) {
+  Tuple a{I(1), S("x")};
+  Tuple b{I(2)};
+  Tuple c = ConcatTuples(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], I(2));
+  Tuple p = ProjectTuple(c, {2, 0});
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], I(2));
+  EXPECT_EQ(p[1], I(1));
+}
+
+TEST(TupleTest, HashAndEquality) {
+  TupleHash hash;
+  TupleEq eq;
+  Tuple a{I(1), S("x")};
+  Tuple b{I(1), S("x")};
+  Tuple c{I(1), S("y")};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_FALSE(eq(a, c));
+  EXPECT_FALSE(eq(a, Tuple{I(1)}));
+  EXPECT_EQ(hash(a), hash(b));
+  std::unordered_set<Tuple, TupleHash, TupleEq> set;
+  set.insert(a);
+  EXPECT_EQ(set.count(b), 1u);
+  EXPECT_EQ(set.count(c), 0u);
+}
+
+TEST(TupleTest, CrossTypeNumericKeysCollide) {
+  TupleHash hash;
+  TupleEq eq;
+  Tuple a{I(2)};
+  Tuple b{Value::Double(2.0)};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(TupleTest, ToString) {
+  EXPECT_EQ(TupleToString({I(1), S("hi")}), "(1, 'hi')");
+  EXPECT_EQ(TupleToString({}), "()");
+}
+
+TEST(RelationTest, BasicAccessors) {
+  Relation rel(Schema({{"T", "a", ValueType::kInt}}));
+  EXPECT_TRUE(rel.empty());
+  rel.AddRow({I(1)});
+  rel.AddRow({I(2)});
+  EXPECT_EQ(rel.NumRows(), 2u);
+  EXPECT_FALSE(rel.empty());
+}
+
+TEST(RelationTest, KeyExtraction) {
+  Relation rel(Schema({{"T", "a", ValueType::kInt},
+                       {"T", "b", ValueType::kString},
+                       {"T", "c", ValueType::kInt}}));
+  rel.set_key_columns({0, 2});
+  EXPECT_TRUE(rel.HasKey());
+  Tuple key = rel.KeyOf({I(7), S("x"), I(9)});
+  ASSERT_EQ(key.size(), 2u);
+  EXPECT_EQ(key[0], I(7));
+  EXPECT_EQ(key[1], I(9));
+}
+
+TEST(RelationTest, CheckWellFormedDetectsArityMismatch) {
+  Relation rel(Schema({{"T", "a", ValueType::kInt}}));
+  rel.AddRow({I(1), I(2)});
+  EXPECT_FALSE(rel.CheckWellFormed().ok());
+}
+
+TEST(RelationTest, CheckWellFormedDetectsBadKey) {
+  Relation rel(Schema({{"T", "a", ValueType::kInt}}));
+  rel.set_key_columns({3});
+  EXPECT_FALSE(rel.CheckWellFormed().ok());
+}
+
+TEST(RelationTest, ToStringTruncates) {
+  Relation rel(Schema({{"T", "a", ValueType::kInt}}));
+  for (int i = 0; i < 30; ++i) rel.AddRow({I(i)});
+  std::string s = rel.ToString(5);
+  EXPECT_NE(s.find("[30 rows]"), std::string::npos);
+  EXPECT_NE(s.find("25 more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,78 @@
+#include "types/value.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, TypePredicates) {
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Double(1.5).is_double());
+  EXPECT_TRUE(Value::Double(1.5).is_numeric());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value::Int(-3).AsInt(), -3);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("abc").AsString(), "abc");
+  EXPECT_DOUBLE_EQ(Value::Int(4).NumericValue(), 4.0);
+  EXPECT_DOUBLE_EQ(Value::Double(4.5).NumericValue(), 4.5);
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+}
+
+TEST(ValueTest, TotalOrder) {
+  // NULL < numerics < strings.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Int(100), Value::String(""));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Double(1.5), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, LargeIntegersCompareExactly) {
+  // Values that would collide after double rounding.
+  int64_t big = (int64_t{1} << 60) + 1;
+  EXPECT_LT(Value::Int(big), Value::Int(big + 1));
+  EXPECT_NE(Value::Int(big), Value::Int(big + 1));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_EQ(Value::String("x").Hash(), Value::String("x").Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(2));
+  EXPECT_TRUE(set.count(Value::Double(2.0)) > 0);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_EQ(ValueTypeName(ValueType::kNull), "NULL");
+  EXPECT_EQ(ValueTypeName(ValueType::kInt), "INT");
+  EXPECT_EQ(ValueTypeName(ValueType::kDouble), "DOUBLE");
+  EXPECT_EQ(ValueTypeName(ValueType::kString), "STRING");
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -1,0 +1,117 @@
+#include "workload/workload.h"
+
+#include "datagen/dblp_gen.h"
+#include "datagen/imdb_gen.h"
+#include "exec/runner.h"
+#include "gtest/gtest.h"
+
+namespace prefdb {
+namespace {
+
+class ImdbWorkloadTest : public ::testing::Test {
+ protected:
+  static Session& session() {
+    static Session* instance = [] {
+      ImdbOptions options;
+      options.scale = 0.001;
+      auto catalog = GenerateImdb(options);
+      EXPECT_TRUE(catalog.ok());
+      return new Session(std::move(*catalog));
+    }();
+    return *instance;
+  }
+};
+
+TEST_F(ImdbWorkloadTest, AllQueriesParseAndRun) {
+  for (const WorkloadQuery& q : ImdbWorkload()) {
+    auto result = session().Query(q.sql);
+    ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+    EXPECT_FALSE(q.description.empty());
+  }
+}
+
+TEST_F(ImdbWorkloadTest, WorkloadMatchesTableIIShape) {
+  std::vector<WorkloadQuery> workload = ImdbWorkload();
+  ASSERT_EQ(workload.size(), 3u);
+  EXPECT_EQ(workload[0].name, "IMDB-1");
+  // IMDB-1: 2 relations, 2 preferences.
+  auto parsed1 = ParseQuery(workload[0].sql, session().engine().catalog());
+  ASSERT_TRUE(parsed1.ok());
+  EXPECT_EQ(parsed1->plan->CountKind(PlanKind::kScan), 2u);
+  EXPECT_EQ(parsed1->preferences.size(), 2u);
+  // IMDB-2: 4 relations, 3 preferences.
+  auto parsed2 = ParseQuery(workload[1].sql, session().engine().catalog());
+  ASSERT_TRUE(parsed2.ok());
+  EXPECT_EQ(parsed2->plan->CountKind(PlanKind::kScan), 4u);
+  EXPECT_EQ(parsed2->preferences.size(), 3u);
+  // IMDB-3: 5 relations, 4 preferences (one membership).
+  auto parsed3 = ParseQuery(workload[2].sql, session().engine().catalog());
+  ASSERT_TRUE(parsed3.ok());
+  EXPECT_EQ(parsed3->plan->CountKind(PlanKind::kScan), 5u);
+  EXPECT_EQ(parsed3->preferences.size(), 4u);
+  EXPECT_NE(parsed3->preferences[3]->membership(), nullptr);
+}
+
+TEST_F(ImdbWorkloadTest, PreferenceSweepScalesLambda) {
+  for (int n : {1, 3, 8}) {
+    std::string sql = ImdbPreferenceSweep(n);
+    auto parsed = ParseQuery(sql, session().engine().catalog());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << sql;
+    EXPECT_EQ(parsed->preferences.size(), static_cast<size_t>(n));
+    auto result = session().Query(sql);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // Out-of-range requests clamp.
+  auto lo = ParseQuery(ImdbPreferenceSweep(0), session().engine().catalog());
+  ASSERT_TRUE(lo.ok());
+  EXPECT_EQ(lo->preferences.size(), 1u);
+  auto hi = ParseQuery(ImdbPreferenceSweep(99), session().engine().catalog());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_EQ(hi->preferences.size(), 8u);
+}
+
+TEST_F(ImdbWorkloadTest, SelectivitySweepMatchesFraction) {
+  size_t n_movies =
+      (*session().engine().catalog().GetTable("MOVIES"))->NumRows();
+  std::string sql =
+      ImdbSelectivitySweep(0.25, static_cast<long long>(n_movies));
+  auto result = session().Query(sql);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Count scored rows: should be about a quarter of the (joined) result.
+  size_t scored = 0;
+  auto conf_idx = result->relation.schema().FindColumn("conf");
+  ASSERT_TRUE(conf_idx.ok());
+  for (const Tuple& row : result->relation.rows()) {
+    if (row[*conf_idx].NumericValue() > 0) ++scored;
+  }
+  EXPECT_GT(scored, 0u);
+  EXPECT_LT(scored, result->relation.NumRows());
+}
+
+TEST_F(ImdbWorkloadTest, RelationsSweepJoinsProgressively) {
+  for (int r = 1; r <= 5; ++r) {
+    std::string sql = ImdbRelationsSweep(r);
+    auto parsed = ParseQuery(sql, session().engine().catalog());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << sql;
+    EXPECT_EQ(parsed->plan->CountKind(PlanKind::kScan), static_cast<size_t>(r));
+    auto result = session().Query(sql);
+    ASSERT_TRUE(result.ok()) << "r=" << r << ": " << result.status().ToString();
+  }
+}
+
+TEST(DblpWorkloadTest, AllQueriesParseAndRun) {
+  DblpOptions options;
+  options.scale = 0.001;
+  auto catalog = GenerateDblp(options);
+  ASSERT_TRUE(catalog.ok());
+  Session session(std::move(*catalog));
+  std::vector<WorkloadQuery> workload = DblpWorkload();
+  ASSERT_EQ(workload.size(), 3u);
+  for (const WorkloadQuery& q : workload) {
+    auto result = session.Query(q.sql);
+    ASSERT_TRUE(result.ok()) << q.name << ": " << result.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace prefdb
