@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plugin_comparison.dir/bench_plugin_comparison.cc.o"
+  "CMakeFiles/bench_plugin_comparison.dir/bench_plugin_comparison.cc.o.d"
+  "bench_plugin_comparison"
+  "bench_plugin_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plugin_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

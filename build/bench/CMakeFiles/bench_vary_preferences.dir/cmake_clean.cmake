@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vary_preferences.dir/bench_vary_preferences.cc.o"
+  "CMakeFiles/bench_vary_preferences.dir/bench_vary_preferences.cc.o.d"
+  "bench_vary_preferences"
+  "bench_vary_preferences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vary_preferences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

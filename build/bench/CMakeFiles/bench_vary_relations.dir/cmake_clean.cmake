@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vary_relations.dir/bench_vary_relations.cc.o"
+  "CMakeFiles/bench_vary_relations.dir/bench_vary_relations.cc.o.d"
+  "bench_vary_relations"
+  "bench_vary_relations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vary_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vary_selectivity.dir/bench_vary_selectivity.cc.o"
+  "CMakeFiles/bench_vary_selectivity.dir/bench_vary_selectivity.cc.o.d"
+  "bench_vary_selectivity"
+  "bench_vary_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vary_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefsql_repl.dir/prefsql_repl.cpp.o"
+  "CMakeFiles/prefsql_repl.dir/prefsql_repl.cpp.o.d"
+  "prefsql_repl"
+  "prefsql_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefsql_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("types")
+subdirs("expr")
+subdirs("prefs")
+subdirs("storage")
+subdirs("plan")
+subdirs("engine")
+subdirs("palgebra")
+subdirs("optimizer")
+subdirs("parser")
+subdirs("exec")
+subdirs("datagen")
+subdirs("workload")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_common.dir/rng.cc.o"
+  "CMakeFiles/prefdb_common.dir/rng.cc.o.d"
+  "CMakeFiles/prefdb_common.dir/status.cc.o"
+  "CMakeFiles/prefdb_common.dir/status.cc.o.d"
+  "CMakeFiles/prefdb_common.dir/string_util.cc.o"
+  "CMakeFiles/prefdb_common.dir/string_util.cc.o.d"
+  "libprefdb_common.a"
+  "libprefdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/dblp_gen.cc" "src/datagen/CMakeFiles/prefdb_datagen.dir/dblp_gen.cc.o" "gcc" "src/datagen/CMakeFiles/prefdb_datagen.dir/dblp_gen.cc.o.d"
+  "/root/repo/src/datagen/imdb_gen.cc" "src/datagen/CMakeFiles/prefdb_datagen.dir/imdb_gen.cc.o" "gcc" "src/datagen/CMakeFiles/prefdb_datagen.dir/imdb_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/prefdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/prefdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prefdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

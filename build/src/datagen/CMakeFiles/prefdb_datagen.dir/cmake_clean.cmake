@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_datagen.dir/dblp_gen.cc.o"
+  "CMakeFiles/prefdb_datagen.dir/dblp_gen.cc.o.d"
+  "CMakeFiles/prefdb_datagen.dir/imdb_gen.cc.o"
+  "CMakeFiles/prefdb_datagen.dir/imdb_gen.cc.o.d"
+  "libprefdb_datagen.a"
+  "libprefdb_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

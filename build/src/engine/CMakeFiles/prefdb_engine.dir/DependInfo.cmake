@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cardinality.cc" "src/engine/CMakeFiles/prefdb_engine.dir/cardinality.cc.o" "gcc" "src/engine/CMakeFiles/prefdb_engine.dir/cardinality.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/engine/CMakeFiles/prefdb_engine.dir/engine.cc.o" "gcc" "src/engine/CMakeFiles/prefdb_engine.dir/engine.cc.o.d"
+  "/root/repo/src/engine/exec_stats.cc" "src/engine/CMakeFiles/prefdb_engine.dir/exec_stats.cc.o" "gcc" "src/engine/CMakeFiles/prefdb_engine.dir/exec_stats.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/prefdb_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/prefdb_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/native_optimizer.cc" "src/engine/CMakeFiles/prefdb_engine.dir/native_optimizer.cc.o" "gcc" "src/engine/CMakeFiles/prefdb_engine.dir/native_optimizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/prefdb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prefdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefs/CMakeFiles/prefdb_prefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/prefdb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/prefdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prefdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_engine.dir/cardinality.cc.o"
+  "CMakeFiles/prefdb_engine.dir/cardinality.cc.o.d"
+  "CMakeFiles/prefdb_engine.dir/engine.cc.o"
+  "CMakeFiles/prefdb_engine.dir/engine.cc.o.d"
+  "CMakeFiles/prefdb_engine.dir/exec_stats.cc.o"
+  "CMakeFiles/prefdb_engine.dir/exec_stats.cc.o.d"
+  "CMakeFiles/prefdb_engine.dir/executor.cc.o"
+  "CMakeFiles/prefdb_engine.dir/executor.cc.o.d"
+  "CMakeFiles/prefdb_engine.dir/native_optimizer.cc.o"
+  "CMakeFiles/prefdb_engine.dir/native_optimizer.cc.o.d"
+  "libprefdb_engine.a"
+  "libprefdb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

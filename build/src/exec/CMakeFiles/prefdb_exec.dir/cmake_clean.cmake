@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_exec.dir/personalize.cc.o"
+  "CMakeFiles/prefdb_exec.dir/personalize.cc.o.d"
+  "CMakeFiles/prefdb_exec.dir/runner.cc.o"
+  "CMakeFiles/prefdb_exec.dir/runner.cc.o.d"
+  "CMakeFiles/prefdb_exec.dir/strategies.cc.o"
+  "CMakeFiles/prefdb_exec.dir/strategies.cc.o.d"
+  "libprefdb_exec.a"
+  "libprefdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_expr.dir/expr.cc.o"
+  "CMakeFiles/prefdb_expr.dir/expr.cc.o.d"
+  "libprefdb_expr.a"
+  "libprefdb_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

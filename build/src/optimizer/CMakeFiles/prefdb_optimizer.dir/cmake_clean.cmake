@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_optimizer.dir/extended_optimizer.cc.o"
+  "CMakeFiles/prefdb_optimizer.dir/extended_optimizer.cc.o.d"
+  "libprefdb_optimizer.a"
+  "libprefdb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/palgebra/filters.cc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/filters.cc.o" "gcc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/filters.cc.o.d"
+  "/root/repo/src/palgebra/p_ops.cc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/p_ops.cc.o" "gcc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/p_ops.cc.o.d"
+  "/root/repo/src/palgebra/p_relation.cc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/p_relation.cc.o" "gcc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/p_relation.cc.o.d"
+  "/root/repo/src/palgebra/score_relation.cc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/score_relation.cc.o" "gcc" "src/palgebra/CMakeFiles/prefdb_palgebra.dir/score_relation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/prefdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefs/CMakeFiles/prefdb_prefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/prefdb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/prefdb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prefdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/prefdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prefdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_palgebra.dir/filters.cc.o"
+  "CMakeFiles/prefdb_palgebra.dir/filters.cc.o.d"
+  "CMakeFiles/prefdb_palgebra.dir/p_ops.cc.o"
+  "CMakeFiles/prefdb_palgebra.dir/p_ops.cc.o.d"
+  "CMakeFiles/prefdb_palgebra.dir/p_relation.cc.o"
+  "CMakeFiles/prefdb_palgebra.dir/p_relation.cc.o.d"
+  "CMakeFiles/prefdb_palgebra.dir/score_relation.cc.o"
+  "CMakeFiles/prefdb_palgebra.dir/score_relation.cc.o.d"
+  "libprefdb_palgebra.a"
+  "libprefdb_palgebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_palgebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_parser.dir/lexer.cc.o"
+  "CMakeFiles/prefdb_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/prefdb_parser.dir/parser.cc.o"
+  "CMakeFiles/prefdb_parser.dir/parser.cc.o.d"
+  "libprefdb_parser.a"
+  "libprefdb_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_plan.dir/plan.cc.o"
+  "CMakeFiles/prefdb_plan.dir/plan.cc.o.d"
+  "libprefdb_plan.a"
+  "libprefdb_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

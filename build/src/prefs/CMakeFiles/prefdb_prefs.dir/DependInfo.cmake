@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prefs/agg_func.cc" "src/prefs/CMakeFiles/prefdb_prefs.dir/agg_func.cc.o" "gcc" "src/prefs/CMakeFiles/prefdb_prefs.dir/agg_func.cc.o.d"
+  "/root/repo/src/prefs/preference.cc" "src/prefs/CMakeFiles/prefdb_prefs.dir/preference.cc.o" "gcc" "src/prefs/CMakeFiles/prefdb_prefs.dir/preference.cc.o.d"
+  "/root/repo/src/prefs/profile.cc" "src/prefs/CMakeFiles/prefdb_prefs.dir/profile.cc.o" "gcc" "src/prefs/CMakeFiles/prefdb_prefs.dir/profile.cc.o.d"
+  "/root/repo/src/prefs/qualitative.cc" "src/prefs/CMakeFiles/prefdb_prefs.dir/qualitative.cc.o" "gcc" "src/prefs/CMakeFiles/prefdb_prefs.dir/qualitative.cc.o.d"
+  "/root/repo/src/prefs/score_conf.cc" "src/prefs/CMakeFiles/prefdb_prefs.dir/score_conf.cc.o" "gcc" "src/prefs/CMakeFiles/prefdb_prefs.dir/score_conf.cc.o.d"
+  "/root/repo/src/prefs/scoring.cc" "src/prefs/CMakeFiles/prefdb_prefs.dir/scoring.cc.o" "gcc" "src/prefs/CMakeFiles/prefdb_prefs.dir/scoring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/prefdb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/prefdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prefdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_prefs.dir/agg_func.cc.o"
+  "CMakeFiles/prefdb_prefs.dir/agg_func.cc.o.d"
+  "CMakeFiles/prefdb_prefs.dir/preference.cc.o"
+  "CMakeFiles/prefdb_prefs.dir/preference.cc.o.d"
+  "CMakeFiles/prefdb_prefs.dir/profile.cc.o"
+  "CMakeFiles/prefdb_prefs.dir/profile.cc.o.d"
+  "CMakeFiles/prefdb_prefs.dir/qualitative.cc.o"
+  "CMakeFiles/prefdb_prefs.dir/qualitative.cc.o.d"
+  "CMakeFiles/prefdb_prefs.dir/score_conf.cc.o"
+  "CMakeFiles/prefdb_prefs.dir/score_conf.cc.o.d"
+  "CMakeFiles/prefdb_prefs.dir/scoring.cc.o"
+  "CMakeFiles/prefdb_prefs.dir/scoring.cc.o.d"
+  "libprefdb_prefs.a"
+  "libprefdb_prefs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_prefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprefdb_prefs.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_storage.dir/catalog.cc.o"
+  "CMakeFiles/prefdb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/prefdb_storage.dir/csv_loader.cc.o"
+  "CMakeFiles/prefdb_storage.dir/csv_loader.cc.o.d"
+  "CMakeFiles/prefdb_storage.dir/hash_index.cc.o"
+  "CMakeFiles/prefdb_storage.dir/hash_index.cc.o.d"
+  "CMakeFiles/prefdb_storage.dir/table.cc.o"
+  "CMakeFiles/prefdb_storage.dir/table.cc.o.d"
+  "libprefdb_storage.a"
+  "libprefdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_types.dir/relation.cc.o"
+  "CMakeFiles/prefdb_types.dir/relation.cc.o.d"
+  "CMakeFiles/prefdb_types.dir/schema.cc.o"
+  "CMakeFiles/prefdb_types.dir/schema.cc.o.d"
+  "CMakeFiles/prefdb_types.dir/tuple.cc.o"
+  "CMakeFiles/prefdb_types.dir/tuple.cc.o.d"
+  "CMakeFiles/prefdb_types.dir/value.cc.o"
+  "CMakeFiles/prefdb_types.dir/value.cc.o.d"
+  "libprefdb_types.a"
+  "libprefdb_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

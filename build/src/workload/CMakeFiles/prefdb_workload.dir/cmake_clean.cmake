@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_workload.dir/workload.cc.o"
+  "CMakeFiles/prefdb_workload.dir/workload.cc.o.d"
+  "libprefdb_workload.a"
+  "libprefdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algebra_properties_test.dir/algebra_properties_test.cc.o"
+  "CMakeFiles/algebra_properties_test.dir/algebra_properties_test.cc.o.d"
+  "algebra_properties_test"
+  "algebra_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algebra_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_functions_test.dir/expr_functions_test.cc.o"
+  "CMakeFiles/expr_functions_test.dir/expr_functions_test.cc.o.d"
+  "expr_functions_test"
+  "expr_functions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_functions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

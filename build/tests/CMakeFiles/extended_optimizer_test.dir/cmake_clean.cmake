@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_optimizer_test.dir/extended_optimizer_test.cc.o"
+  "CMakeFiles/extended_optimizer_test.dir/extended_optimizer_test.cc.o.d"
+  "extended_optimizer_test"
+  "extended_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_optimizer_test.dir/native_optimizer_test.cc.o"
+  "CMakeFiles/native_optimizer_test.dir/native_optimizer_test.cc.o.d"
+  "native_optimizer_test"
+  "native_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p_ops_test.dir/p_ops_test.cc.o"
+  "CMakeFiles/p_ops_test.dir/p_ops_test.cc.o.d"
+  "p_ops_test"
+  "p_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

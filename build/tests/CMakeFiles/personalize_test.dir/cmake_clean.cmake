@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalize_test.dir/personalize_test.cc.o"
+  "CMakeFiles/personalize_test.dir/personalize_test.cc.o.d"
+  "personalize_test"
+  "personalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

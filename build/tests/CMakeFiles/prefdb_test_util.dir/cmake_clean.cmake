@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefdb_test_util.dir/test_util.cc.o"
+  "CMakeFiles/prefdb_test_util.dir/test_util.cc.o.d"
+  "libprefdb_test_util.a"
+  "libprefdb_test_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefdb_test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefer_op_test.dir/prefer_op_test.cc.o"
+  "CMakeFiles/prefer_op_test.dir/prefer_op_test.cc.o.d"
+  "prefer_op_test"
+  "prefer_op_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefer_op_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

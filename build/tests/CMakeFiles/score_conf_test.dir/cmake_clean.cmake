@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_conf_test.dir/score_conf_test.cc.o"
+  "CMakeFiles/score_conf_test.dir/score_conf_test.cc.o.d"
+  "score_conf_test"
+  "score_conf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_conf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_relation_test.dir/score_relation_test.cc.o"
+  "CMakeFiles/score_relation_test.dir/score_relation_test.cc.o.d"
+  "score_relation_test"
+  "score_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

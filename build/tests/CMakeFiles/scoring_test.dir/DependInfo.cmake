@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scoring_test.cc" "tests/CMakeFiles/scoring_test.dir/scoring_test.cc.o" "gcc" "tests/CMakeFiles/scoring_test.dir/scoring_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/prefdb_test_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/prefdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/prefdb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/prefdb_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/palgebra/CMakeFiles/prefdb_palgebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/prefdb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/prefdb_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/prefs/CMakeFiles/prefdb_prefs.dir/DependInfo.cmake"
+  "/root/repo/build/src/expr/CMakeFiles/prefdb_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/prefdb_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/prefdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/prefdb_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/prefdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/prefdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
