@@ -6,12 +6,17 @@
 namespace prefdb {
 
 StatusOr<Relation> Engine::Execute(const PlanNode& query) {
-  ++stats_.engine_queries;
+  return ExecuteConcurrent(query, &stats_);
+}
+
+StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
+                                             ExecStats* stats) {
+  ++stats->engine_queries;
   if (!native_optimizer_enabled_) {
-    return ExecutePlan(query, &catalog_, &stats_);
+    return ExecutePlan(query, &catalog_, stats);
   }
   ASSIGN_OR_RETURN(NativeOptimizerResult optimized, NativeOptimize(query, catalog_));
-  return ExecutePlan(*optimized.plan, &catalog_, &stats_);
+  return ExecutePlan(*optimized.plan, &catalog_, stats);
 }
 
 StatusOr<Relation> Engine::ExecuteUnoptimized(const PlanNode& query) {

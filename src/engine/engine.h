@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/exec_stats.h"
+#include "parallel/parallel_context.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
 #include "types/relation.h"
@@ -31,6 +32,16 @@ class Engine {
   /// Optimizes and executes a conventional plan; counts one engine query.
   /// Fails if the plan contains prefer operators.
   StatusOr<Relation> Execute(const PlanNode& query);
+
+  /// Like Execute(), but accumulates all counters into the caller-provided
+  /// `stats` instead of the engine's. This is the entry point for
+  /// strategies that issue engine queries concurrently (parallel plug-ins):
+  /// each task executes into its own ExecStats, merged into the engine's
+  /// counters in a deterministic order at the join point. Concurrent calls
+  /// are safe as long as nothing mutates the catalog meanwhile — the
+  /// executor only reads it, and lazy per-table index/statistics builds are
+  /// internally synchronized.
+  StatusOr<Relation> ExecuteConcurrent(const PlanNode& query, ExecStats* stats);
 
   /// Executes without native optimization (for the optimizer-ablation
   /// benchmarks and as a differential-testing oracle).
@@ -59,10 +70,17 @@ class Engine {
   }
   bool native_optimizer_enabled() const { return native_optimizer_enabled_; }
 
+  /// Intra-query parallelism settings consulted by the execution strategies
+  /// and the morsel-capable operators. Defaults to serial; the Session
+  /// installs the per-query context before executing (runner.cc).
+  const ParallelContext& parallel_context() const { return parallel_; }
+  void set_parallel_context(const ParallelContext& ctx) { parallel_ = ctx; }
+
  private:
   Catalog catalog_;
   ExecStats stats_;
   bool native_optimizer_enabled_ = true;
+  ParallelContext parallel_;
 };
 
 }  // namespace prefdb

@@ -52,6 +52,7 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
                                    const QueryOptions& options) {
   Stopwatch watch;
   ExecStats before = engine_.stats();
+  engine_.set_parallel_context(options.parallel);
 
   const PlanNode* plan = parsed.plan.get();
   PlanPtr optimized;

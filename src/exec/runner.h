@@ -6,6 +6,7 @@
 
 #include "exec/strategy.h"
 #include "optimizer/extended_optimizer.h"
+#include "parallel/parallel_context.h"
 #include "parser/parser.h"
 #include "prefs/profile.h"
 
@@ -19,6 +20,11 @@ struct QueryOptions {
   /// the plug-ins work from the unoptimized plan, as in the paper).
   bool optimize = true;
   ExtendedOptimizerOptions optimizer;
+  /// Intra-query parallelism (thread budget, morsel size, serial-fallback
+  /// threshold). Defaults to serial execution, which is bit-identical to
+  /// pre-parallel builds; every strategy produces the same p-relation at
+  /// any thread count (modulo row order / FP association).
+  ParallelContext parallel;
 };
 
 /// The answer of a preferential query plus its execution telemetry.

@@ -1,10 +1,13 @@
 #include "exec/strategy.h"
 
+#include <atomic>
+#include <optional>
 #include <unordered_set>
 
 #include "common/string_util.h"
 #include "optimizer/extended_optimizer.h"
 #include "palgebra/p_ops.h"
+#include "parallel/thread_pool.h"
 
 namespace prefdb {
 
@@ -58,13 +61,60 @@ StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs
                                          Relation result,
                                          const AggregateFunction& agg,
                                          Engine* engine) {
+  // Each prefer pass is itself morsel-parallel over the materialized result
+  // (the post-filter sweep of FtP); successive preferences stay ordered so
+  // the fold into the score relation is deterministic.
   PRelation current(std::move(result));
   for (const PreferencePtr& pref : prefs) {
     ASSIGN_OR_RETURN(current,
                      EvalPrefer(*pref, current, agg, &engine->catalog(),
-                                engine->mutable_stats()));
+                                engine->mutable_stats(),
+                                &engine->parallel_context()));
   }
   return current;
+}
+
+// Executes `plans` against the engine and returns their results in plan
+// order. When the engine's parallel context allows, the queries run
+// concurrently: up to `threads` workers (the calling thread plus pool
+// tasks) claim plans from an atomic cursor, each executing into its own
+// ExecStats; the per-task stats are merged into the engine's counters in
+// plan order at the join point, so counter totals match serial execution.
+StatusOr<std::vector<Relation>> ExecuteEngineQueries(
+    const std::vector<const PlanNode*>& plans, Engine* engine) {
+  std::vector<Relation> results;
+  results.reserve(plans.size());
+  const ParallelContext& ctx = engine->parallel_context();
+  if (ctx.IsSerial() || plans.size() < 2) {
+    for (const PlanNode* plan : plans) {
+      ASSIGN_OR_RETURN(Relation rel, engine->Execute(*plan));
+      results.push_back(std::move(rel));
+    }
+    return results;
+  }
+
+  std::vector<std::optional<StatusOr<Relation>>> partials(plans.size());
+  std::vector<ExecStats> partial_stats(plans.size());
+  std::atomic<size_t> cursor{0};
+  auto drain = [&] {
+    size_t i;
+    while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) <
+           plans.size()) {
+      partials[i] = engine->ExecuteConcurrent(*plans[i], &partial_stats[i]);
+    }
+  };
+  size_t workers = std::min(ctx.ResolvedThreads(), plans.size());
+  TaskGroup group(&ThreadPool::Shared());
+  for (size_t w = 1; w < workers; ++w) group.Run(drain);
+  drain();  // The calling thread participates; no idle wait, no deadlock.
+  group.Wait();
+
+  engine->mutable_stats()->MergeAll(partial_stats);
+  for (std::optional<StatusOr<Relation>>& partial : partials) {
+    RETURN_IF_ERROR(partial->status());
+    results.push_back(std::move(**partial));
+  }
+  return results;
 }
 
 // ---------------------------------------------------------------------------
@@ -116,7 +166,8 @@ class BUStrategy final : public Strategy {
       }
       case PlanKind::kSelect: {
         ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
-        return PSelect(*node.predicate, input, stats);
+        return PSelect(*node.predicate, input, stats,
+                       &engine->parallel_context());
       }
       case PlanKind::kProject: {
         ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
@@ -162,7 +213,7 @@ class BUStrategy final : public Strategy {
       case PlanKind::kPrefer: {
         ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
         return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
-                          stats);
+                          stats, &engine->parallel_context());
       }
     }
     return Status::Internal("unknown plan kind");
@@ -208,7 +259,7 @@ class GBUStrategy final : public Strategy {
     if (node.kind == PlanKind::kPrefer) {
       ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
       return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
-                        engine->mutable_stats());
+                        engine->mutable_stats(), &engine->parallel_context());
     }
 
     // An operator region above at least one prefer: clone the maximal
@@ -371,11 +422,16 @@ class PlugInStrategy final : public Strategy {
   // Basic plug-in: one rewritten query per preference. Each rewrite embeds
   // the preference's conditional part as a hard filter on Q_NP (Rewrite),
   // is executed by the DBMS (Materialize), and its rows are scored and
-  // merged into the answer (Aggregate).
+  // merged into the answer (Aggregate). The rewritten queries are
+  // independent, so they are issued to the engine concurrently (up to the
+  // parallel context's thread budget); aggregation stays in preference
+  // order for deterministic score folding.
   StatusOr<PRelation> ExecuteBasic(PRelation result, const PlanNode& q_np,
                                    const PlanShape& np_shape,
                                    const std::vector<PreferencePtr>& prefs,
                                    const AggregateFunction& agg, Engine* engine) {
+    std::vector<PlanPtr> rewrites;
+    rewrites.reserve(prefs.size());
     for (const PreferencePtr& pref : prefs) {
       PlanPtr rewritten = q_np.Clone();
       rewritten = plan::Select(pref->CloneCondition(), std::move(rewritten));
@@ -387,8 +443,15 @@ class PlugInStrategy final : public Strategy {
             eb_eq(local_full, m.member_relation + "." + m.member_column),
             std::move(rewritten), plan::Scan(m.member_relation));
       }
-      ASSIGN_OR_RETURN(Relation partial, engine->Execute(*rewritten));
-      RETURN_IF_ERROR(MergePartial(*pref, partial, agg, engine, &result));
+      rewrites.push_back(std::move(rewritten));
+    }
+    std::vector<const PlanNode*> plans;
+    plans.reserve(rewrites.size());
+    for (const PlanPtr& plan : rewrites) plans.push_back(plan.get());
+    ASSIGN_OR_RETURN(std::vector<Relation> partials,
+                     ExecuteEngineQueries(plans, engine));
+    for (size_t i = 0; i < prefs.size(); ++i) {
+      RETURN_IF_ERROR(MergePartial(*prefs[i], partials[i], agg, engine, &result));
     }
     return result;
   }
@@ -396,7 +459,9 @@ class PlugInStrategy final : public Strategy {
   // Combined plug-in: a single rewritten query whose filter is the
   // disjunction of all (non-membership) preference conditions; rows of the
   // combined result are then tested per preference client-side. Membership
-  // preferences are handled by materializing the member relation once.
+  // preferences are handled by materializing the member relation once. The
+  // disjunction query and the per-membership queries are mutually
+  // independent and issued to the engine concurrently.
   StatusOr<PRelation> ExecuteCombined(PRelation result, const PlanNode& q_np,
                                       const PlanShape& np_shape,
                                       const std::vector<PreferencePtr>& prefs,
@@ -408,6 +473,7 @@ class PlugInStrategy final : public Strategy {
       (pref->membership() == nullptr ? plain : membership).push_back(pref.get());
     }
 
+    std::vector<PlanPtr> rewrites;
     if (!plain.empty()) {
       ExprPtr disjunction;
       for (const Preference* pref : plain) {
@@ -418,24 +484,34 @@ class PlugInStrategy final : public Strategy {
                                                           std::move(cond))
                           : std::move(cond);
       }
-      PlanPtr rewritten =
-          plan::Select(std::move(disjunction), q_np.Clone());
-      ASSIGN_OR_RETURN(Relation matched, engine->Execute(*rewritten));
-      for (const Preference* pref : plain) {
-        RETURN_IF_ERROR(MergePartial(*pref, matched, agg, engine, &result));
-      }
+      rewrites.push_back(plan::Select(std::move(disjunction), q_np.Clone()));
     }
-
     for (const Preference* pref : membership) {
       const MembershipSpec& m = *pref->membership();
       ASSIGN_OR_RETURN(std::string local_full,
                        ResolveFullName(np_shape, m.local_column));
-      PlanPtr rewritten = plan::SemiJoin(
+      rewrites.push_back(plan::SemiJoin(
           eb_eq(local_full, m.member_relation + "." + m.member_column),
           plan::Select(pref->CloneCondition(), q_np.Clone()),
-          plan::Scan(m.member_relation));
-      ASSIGN_OR_RETURN(Relation partial, engine->Execute(*rewritten));
-      RETURN_IF_ERROR(MergePartial(*pref, partial, agg, engine, &result));
+          plan::Scan(m.member_relation)));
+    }
+
+    std::vector<const PlanNode*> plans;
+    plans.reserve(rewrites.size());
+    for (const PlanPtr& plan : rewrites) plans.push_back(plan.get());
+    ASSIGN_OR_RETURN(std::vector<Relation> materialized,
+                     ExecuteEngineQueries(plans, engine));
+
+    size_t next = 0;
+    if (!plain.empty()) {
+      const Relation& matched = materialized[next++];
+      for (const Preference* pref : plain) {
+        RETURN_IF_ERROR(MergePartial(*pref, matched, agg, engine, &result));
+      }
+    }
+    for (const Preference* pref : membership) {
+      RETURN_IF_ERROR(
+          MergePartial(*pref, materialized[next++], agg, engine, &result));
     }
     return result;
   }

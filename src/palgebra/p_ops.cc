@@ -6,11 +6,19 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "parallel/morsel.h"
 #include "plan/plan.h"
 
 namespace prefdb {
 
 namespace {
+
+// Partitioning decision for a tuple-local operator: serial when no context
+// was supplied, otherwise per the context's knobs.
+MorselPlan PlanFor(size_t n, const ParallelContext* parallel) {
+  return MorselPlan::Make(n, parallel == nullptr ? ParallelContext::Serial()
+                                                 : *parallel);
+}
 
 // Copies the score entries of surviving rows from `input` into `out`.
 // Used by operators that drop tuples (select, semijoin, set difference).
@@ -72,15 +80,37 @@ Status CheckSetCompatible(const PRelation& left, const PRelation& right) {
 }  // namespace
 
 StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
-                            ExecStats* stats) {
+                            ExecStats* stats,
+                            const ParallelContext* parallel) {
   ++stats->operator_invocations;
   ExprPtr bound = predicate.Clone();
   RETURN_IF_ERROR(bound->Bind(input.rel.schema()));
   PRelation out;
   out.rel = Relation(input.rel.schema());
   out.rel.set_key_columns(input.rel.key_columns());
-  for (const Tuple& row : input.rel.rows()) {
-    if (IsTruthy(bound->Eval(row))) out.rel.AddRow(row);
+  MorselPlan plan = PlanFor(input.rel.NumRows(), parallel);
+  if (plan.serial()) {
+    for (const Tuple& row : input.rel.rows()) {
+      if (IsTruthy(bound->Eval(row))) out.rel.AddRow(row);
+    }
+  } else {
+    // Bound expressions are immutable after Bind, so all slots share
+    // `bound`. Each morsel filters into its own buffer; concatenating the
+    // buffers in morsel order reproduces the serial output row order.
+    const std::vector<Tuple>& rows = input.rel.rows();
+    std::vector<std::vector<Tuple>> kept(plan.morsel_count());
+    ParallelFor(plan, [&](size_t, const Morsel& m) {
+      std::vector<Tuple>& local = kept[m.index];
+      for (size_t i = m.begin; i < m.end; ++i) {
+        if (IsTruthy(bound->Eval(rows[i]))) local.push_back(rows[i]);
+      }
+    });
+    size_t total = 0;
+    for (const std::vector<Tuple>& local : kept) total += local.size();
+    out.rel.Reserve(total);
+    for (std::vector<Tuple>& local : kept) {
+      for (Tuple& row : local) out.rel.AddRow(std::move(row));
+    }
   }
   stats->tuples_materialized += out.rel.NumRows();
   CarryScores(input, &out, stats);
@@ -387,7 +417,8 @@ StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats) {
 
 StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
                                const AggregateFunction& agg,
-                               const Catalog* catalog, ExecStats* stats) {
+                               const Catalog* catalog, ExecStats* stats,
+                               const ParallelContext* parallel) {
   ++stats->operator_invocations;
   ExprPtr condition = pref.CloneCondition();
   RETURN_IF_ERROR(condition->Bind(input.rel.schema()));
@@ -420,19 +451,60 @@ StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
   PRelation out;
   out.rel = input.rel;
   out.scores = input.scores;
-  for (const Tuple& row : out.rel.rows()) {
-    if (local_col >= 0 &&
-        member_keys.count(row[static_cast<size_t>(local_col)]) == 0) {
-      continue;  // Membership not satisfied: tuple unaffected.
+  MorselPlan plan = PlanFor(out.rel.NumRows(), parallel);
+  if (plan.serial()) {
+    for (const Tuple& row : out.rel.rows()) {
+      if (local_col >= 0 &&
+          member_keys.count(row[static_cast<size_t>(local_col)]) == 0) {
+        continue;  // Membership not satisfied: tuple unaffected.
+      }
+      if (!IsTruthy(condition->Eval(row))) continue;
+      std::optional<double> score = scoring.Score(row);
+      if (!score.has_value()) continue;  // S(r) = ⊥ contributes nothing.
+      ScoreConf contributed = ScoreConf::Known(*score, pref.confidence());
+      Tuple key = out.rel.KeyOf(row);
+      ScoreConf combined = CombineCounted(agg, out.scores.Lookup(key), contributed);
+      out.scores.Set(key, combined);
+      ++stats->score_entries_written;
     }
-    if (!IsTruthy(condition->Eval(row))) continue;
-    std::optional<double> score = scoring.Score(row);
-    if (!score.has_value()) continue;  // S(r) = ⊥ contributes nothing.
-    ScoreConf contributed = ScoreConf::Known(*score, pref.confidence());
-    Tuple key = out.rel.KeyOf(row);
-    ScoreConf combined = CombineCounted(agg, out.scores.Lookup(key), contributed);
-    out.scores.Set(key, combined);
-    ++stats->score_entries_written;
+  } else {
+    // Morsel-parallel scoring pass. Each morsel folds the contributions of
+    // its tuples into a local score relation starting from the identity
+    // ⟨⊥, 0⟩; the condition, scoring function and member-key set are
+    // immutable after binding and shared by all slots. Because F is
+    // associative with identity ⟨⊥, 0⟩, folding the input pair with the
+    // per-morsel partials (in morsel order, below) yields the same pairs as
+    // the serial row-order fold, up to floating-point association.
+    const std::vector<Tuple>& rows = out.rel.rows();
+    std::vector<ScoreRelation> partials(plan.morsel_count());
+    std::vector<size_t> contributions(plan.morsel_count(), 0);
+    ParallelFor(plan, [&](size_t, const Morsel& m) {
+      ScoreRelation& local = partials[m.index];
+      for (size_t i = m.begin; i < m.end; ++i) {
+        const Tuple& row = rows[i];
+        if (local_col >= 0 &&
+            member_keys.count(row[static_cast<size_t>(local_col)]) == 0) {
+          continue;
+        }
+        if (!IsTruthy(condition->Eval(row))) continue;
+        std::optional<double> score = scoring.Score(row);
+        if (!score.has_value()) continue;
+        ScoreConf contributed = ScoreConf::Known(*score, pref.confidence());
+        Tuple key = out.rel.KeyOf(row);
+        local.Set(key, CombineCounted(agg, local.Lookup(key), contributed));
+        ++contributions[m.index];
+      }
+    });
+    // Join point: merge partials in morsel order. Distinct keys are
+    // independent entries, so within one partial the (unordered) iteration
+    // order cannot affect the result.
+    for (size_t i = 0; i < partials.size(); ++i) {
+      for (const auto& [key, pair] : partials[i].entries()) {
+        out.scores.Set(key,
+                       CombineCounted(agg, out.scores.Lookup(key), pair));
+      }
+      stats->score_entries_written += contributions[i];
+    }
   }
   stats->tuples_materialized += out.rel.NumRows();
   return out;

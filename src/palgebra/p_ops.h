@@ -3,6 +3,7 @@
 
 #include "engine/exec_stats.h"
 #include "palgebra/p_relation.h"
+#include "parallel/parallel_context.h"
 #include "plan/plan.h"
 #include "prefs/agg_func.h"
 #include "prefs/preference.h"
@@ -19,11 +20,20 @@ namespace prefdb {
 /// All operators maintain the score relations: only non-default pairs are
 /// stored, keys follow the relation's canonical key order, and binary
 /// operators combine pairs with the aggregate function `F`.
+///
+/// Tuple-local operators (selection, prefer) accept an optional
+/// ParallelContext and evaluate the input in concurrent morsels when it is
+/// non-null and non-serial; per-morsel partial results are merged in morsel
+/// order, so output is deterministic for a fixed context. Passing nullptr
+/// (or a serial context) takes the original single-threaded code path.
 
 /// σ_φ over a p-relation: hard boolean filter; surviving tuples keep their
-/// pairs (score entries of dropped tuples are pruned).
+/// pairs (score entries of dropped tuples are pruned). Parallel evaluation
+/// preserves the input row order exactly (morsel outputs are concatenated
+/// in order), so results are bit-identical to serial execution.
 StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
-                            ExecStats* stats);
+                            ExecStats* stats,
+                            const ParallelContext* parallel = nullptr);
 
 /// π over a p-relation: projects columns, implicitly preserving the key
 /// columns (and thereby scores and confidences, paper §IV-B).
@@ -73,9 +83,17 @@ StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats);
 ///
 /// `catalog` is needed only for membership preferences (to probe the member
 /// relation); it may be null otherwise.
+///
+/// Parallel evaluation exploits that the prefer operator is a tuple-local
+/// scoring pass and `F` is associative with identity ⟨⊥, 0⟩ (paper §IV-A):
+/// each morsel folds its tuples' contributions into a local score relation
+/// starting from the identity, and the partials are merged into the input
+/// pairs in morsel order. Equal to serial evaluation up to floating-point
+/// association (the same latitude the strategy contract already grants).
 StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
                                const AggregateFunction& agg,
-                               const Catalog* catalog, ExecStats* stats);
+                               const Catalog* catalog, ExecStats* stats,
+                               const ParallelContext* parallel = nullptr);
 
 }  // namespace prefdb
 

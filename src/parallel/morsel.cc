@@ -1,0 +1,64 @@
+#include "parallel/morsel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+#include "parallel/thread_pool.h"
+
+namespace prefdb {
+
+MorselPlan MorselPlan::Make(size_t n, const ParallelContext& ctx) {
+  MorselPlan plan;
+  plan.rows_ = n;
+  size_t threads = ctx.ResolvedThreads();
+  size_t morsel_size = std::max<size_t>(1, ctx.morsel_size);
+  size_t morsel_count = n == 0 ? 0 : (n + morsel_size - 1) / morsel_size;
+  if (threads <= 1 || n < ctx.min_parallel_rows || morsel_count < 2) {
+    // Serial fallback: one morsel covering everything (none when empty).
+    if (n > 0) plan.morsels_.push_back(Morsel{0, n, 0});
+    plan.slots_ = 1;
+    return plan;
+  }
+  plan.morsels_.reserve(morsel_count);
+  for (size_t i = 0; i < morsel_count; ++i) {
+    size_t begin = i * morsel_size;
+    plan.morsels_.push_back(Morsel{begin, std::min(n, begin + morsel_size), i});
+  }
+  plan.slots_ = std::min(threads, morsel_count);
+  return plan;
+}
+
+void ParallelFor(const MorselPlan& plan,
+                 const std::function<void(size_t, const Morsel&)>& fn) {
+  if (plan.serial()) {
+    for (size_t i = 0; i < plan.morsel_count(); ++i) fn(0, plan.morsel(i));
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  auto drain = [&plan, &cursor, &fn](size_t slot) {
+    size_t i;
+    while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) <
+           plan.morsel_count()) {
+      fn(slot, plan.morsel(i));
+    }
+  };
+  TaskGroup group(&ThreadPool::Shared());
+  for (size_t slot = 1; slot < plan.slots(); ++slot) {
+    group.Run([&drain, slot] { drain(slot); });
+  }
+  // The caller participates as slot 0. If it throws, the pool tasks still
+  // finish (the cursor keeps advancing past the end), so joining first is
+  // safe; the group's own error, if any, wins — it happened first or
+  // concurrently, and only one can be propagated.
+  std::exception_ptr caller_error;
+  try {
+    drain(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  group.Wait();  // Rethrows the first pool-task exception.
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
+}  // namespace prefdb

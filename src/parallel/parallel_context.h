@@ -1,0 +1,51 @@
+#ifndef PREFDB_PARALLEL_PARALLEL_CONTEXT_H_
+#define PREFDB_PARALLEL_PARALLEL_CONTEXT_H_
+
+#include <cstddef>
+#include <string>
+
+namespace prefdb {
+
+/// Intra-query parallelism knobs, plumbed from the session's QueryOptions
+/// through the Engine into the operators that support morsel-driven
+/// evaluation (prefer, selection) and into the strategies that can issue
+/// engine queries concurrently (the plug-ins).
+///
+/// The default is serial execution (`threads == 1`), which takes exactly
+/// the pre-parallel code paths and is therefore bit-identical run to run —
+/// the reproducibility baseline the equivalence tests compare against.
+struct ParallelContext {
+  /// Maximum number of concurrent worker slots per parallel region.
+  /// 0 means "use the hardware concurrency"; 1 means serial.
+  size_t threads = 1;
+
+  /// Rows per morsel. Morsels are the unit of work stealing: small enough
+  /// to balance skew, large enough to amortize dispatch (a few thousand
+  /// rows keeps a morsel's tuples within the L2 footprint for the narrow
+  /// schemas of the evaluation workloads).
+  size_t morsel_size = 1024;
+
+  /// Inputs with fewer rows than this run serially regardless of
+  /// `threads`: below the threshold, dispatch overhead dominates any
+  /// parallel win.
+  size_t min_parallel_rows = 2048;
+
+  /// `threads` with 0 resolved to the hardware concurrency (at least 1).
+  size_t ResolvedThreads() const;
+
+  /// True when this context always takes the serial path.
+  bool IsSerial() const { return ResolvedThreads() <= 1; }
+
+  static ParallelContext Serial() { return ParallelContext(); }
+  static ParallelContext Hardware() {
+    ParallelContext ctx;
+    ctx.threads = 0;
+    return ctx;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PARALLEL_PARALLEL_CONTEXT_H_

@@ -1,0 +1,122 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace prefdb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t n = std::max<size_t>(1, num_threads);
+  queues_.resize(n);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queues_[next_queue_].push_back(std::move(task));
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  cv_.notify_one();
+}
+
+size_t ThreadPool::steal_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return steal_count_;
+}
+
+bool ThreadPool::NextTask(size_t worker_index, std::function<void()>* task) {
+  std::deque<std::function<void()>>& own = queues_[worker_index];
+  if (!own.empty()) {
+    *task = std::move(own.front());
+    own.pop_front();
+    return true;
+  }
+  // Steal from the back of a sibling's deque, scanning round-robin from the
+  // next worker so no single victim is preferred.
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    std::deque<std::function<void()>>& victim =
+        queues_[(worker_index + off) % queues_.size()];
+    if (!victim.empty()) {
+      *task = std::move(victim.back());
+      victim.pop_back();
+      ++steal_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::function<void()> task;
+    if (NextTask(worker_index, &task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // Release captures before re-locking.
+      lock.lock();
+      continue;
+    }
+    if (shutting_down_) return;  // All queues drained.
+    cv_.wait(lock);
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: worker threads must not be joined during static
+  // destruction (tasks submitted from other static objects could deadlock).
+  static ThreadPool* pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void TaskGroup::Run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, fn = std::move(fn)] {
+    std::exception_ptr err;
+    try {
+      fn();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    // The decrement, the error publication and the notify happen under the
+    // lock: once Wait() observes pending_ == 0 the group may be destroyed,
+    // so this task must be done touching members before releasing it.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (err && !error_) error_ = err;
+    --pending_;
+    cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    std::exception_ptr error = std::exchange(error_, nullptr);
+    std::rethrow_exception(error);
+  }
+}
+
+void TaskGroup::WaitNoThrow() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace prefdb

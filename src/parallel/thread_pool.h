@@ -1,0 +1,102 @@
+#ifndef PREFDB_PARALLEL_THREAD_POOL_H_
+#define PREFDB_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace prefdb {
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Each worker owns a deque of tasks; Submit() distributes tasks over the
+/// worker deques round-robin. A worker pops from the front of its own deque
+/// (FIFO: tasks submitted first run first) and, when its deque is empty,
+/// steals from the back of a sibling's deque — so a worker stuck on a long
+/// task cannot strand the tasks queued behind it. The destructor drains all
+/// queued tasks before joining the workers.
+///
+/// Tasks must not throw across the pool boundary; use TaskGroup (below) to
+/// run a batch of fallible tasks and rethrow the first failure at the join
+/// point.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker. Must not be called
+  /// after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  /// Number of tasks executed by a worker other than the one they were
+  /// queued on (telemetry; exercised by the skew tests).
+  size_t steal_count() const;
+
+  /// The process-wide pool, created on first use and sized to the hardware
+  /// concurrency. Parallel operators cap their concurrency with
+  /// ParallelContext::threads, so a single shared pool serves every
+  /// session without oversubscribing the machine.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop(size_t worker_index);
+  /// Pops the next task for `worker_index` (own queue first, then steal).
+  /// Returns false if no task is available. Requires `mu_` held.
+  bool NextTask(size_t worker_index, std::function<void()>* task);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::function<void()>>> queues_;  // One per worker.
+  std::vector<std::thread> workers_;
+  size_t next_queue_ = 0;     // Round-robin submission cursor.
+  size_t steal_count_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// A batch of tasks submitted to a pool and joined together. Exceptions
+/// thrown by tasks are captured; Wait() rethrows the first one after every
+/// task of the group has finished (the rest of the batch still runs — the
+/// caller's partial results stay consistent).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Joins without rethrowing if the caller forgot to Wait().
+  ~TaskGroup() { WaitNoThrow(); }
+
+  /// Schedules `fn` on the pool as part of this group.
+  void Run(std::function<void()> fn);
+
+  /// Blocks until every task scheduled so far has finished; rethrows the
+  /// first captured exception, if any.
+  void Wait();
+
+ private:
+  void WaitNoThrow();
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_PARALLEL_THREAD_POOL_H_

@@ -30,6 +30,10 @@ StatusOr<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
 }
 
 const HashIndex& Table::EnsureIndex(size_t column_index) {
+  // Building under the lock serializes concurrent first-touch builds of the
+  // same index; index construction is rare (once per column) and the lock
+  // is uncontended afterwards.
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   auto it = indexes_.find(column_index);
   if (it == indexes_.end()) {
     it = indexes_.emplace(column_index,
@@ -40,8 +44,9 @@ const HashIndex& Table::EnsureIndex(size_t column_index) {
 }
 
 const ColumnStats& Table::Stats(size_t column_index) {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   auto it = stats_.find(column_index);
-  if (it != stats_.end()) return it->second;
+  if (it != stats_.end()) return *it->second;
 
   ColumnStats stats;
   stats.row_count = relation_.NumRows();
@@ -67,7 +72,8 @@ const ColumnStats& Table::Stats(size_t column_index) {
     }
   }
   stats.distinct_count = distinct.size();
-  return stats_.emplace(column_index, stats).first->second;
+  return *stats_.emplace(column_index, std::make_unique<ColumnStats>(stats))
+              .first->second;
 }
 
 }  // namespace prefdb

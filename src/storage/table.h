@@ -2,6 +2,7 @@
 #define PREFDB_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,14 +48,18 @@ class Table {
   const std::vector<size_t>& primary_key() const { return relation_.key_columns(); }
 
   /// Returns the hash index on `column_index`, building it on first use.
+  /// Thread-safe: concurrent engine queries (parallel plug-in strategies)
+  /// may race to build the same index; one wins, the rest reuse it.
   const HashIndex& EnsureIndex(size_t column_index);
 
   /// True if an index on `column_index` has already been built.
   bool HasIndex(size_t column_index) const {
+    std::lock_guard<std::mutex> lock(lazy_mu_);
     return indexes_.count(column_index) > 0;
   }
 
   /// Statistics for column `i` (computed on first access, then cached).
+  /// Thread-safe like EnsureIndex; the returned reference is stable.
   const ColumnStats& Stats(size_t column_index);
 
  private:
@@ -63,8 +68,12 @@ class Table {
 
   std::string name_;
   Relation relation_;
+  /// Guards the lazily built indexes and statistics — the only mutable
+  /// state of an otherwise read-only table. Entries are heap-allocated so
+  /// returned references survive rehashing.
+  mutable std::mutex lazy_mu_;
   std::unordered_map<size_t, std::unique_ptr<HashIndex>> indexes_;
-  std::unordered_map<size_t, ColumnStats> stats_;
+  std::unordered_map<size_t, std::unique_ptr<ColumnStats>> stats_;
 };
 
 }  // namespace prefdb
