@@ -48,7 +48,7 @@ void RunThreadSweep(Session* session, const std::string& sql,
   if (json == nullptr) {
     std::fprintf(stderr, "warning: cannot open BENCH_parallel.json\n");
   }
-  for (StrategyKind kind : EvaluationStrategies()) {
+  for (StrategyKind kind : AllStrategies()) {
     std::vector<std::string> row = {std::string(StrategyKindName(kind))};
     for (size_t threads : sweep) {
       QueryOptions options;
@@ -130,7 +130,11 @@ int Main() {
       "\nExpected shape: FtP and the plug-ins, whose cost is dominated by "
       "the post-filter prefer sweep over the materialized result, speed up "
       "with threads until morsel dispatch overhead or the engine-delegated "
-      "fraction (Amdahl) dominates.\n");
+      "fraction (Amdahl) dominates. BU and GBU add subtree concurrency on "
+      "top of the morsel loops — independent join/set-operation children "
+      "(BU) and per-prefer-subtree temp materializations (GBU) evaluate as "
+      "concurrent tasks — so their curves flatten only once the plan runs "
+      "out of independent work.\n");
   return 0;
 }
 

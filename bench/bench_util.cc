@@ -47,6 +47,11 @@ std::vector<StrategyKind> EvaluationStrategies() {
           StrategyKind::kPlugInCombined};
 }
 
+std::vector<StrategyKind> AllStrategies() {
+  return {StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+          StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined};
+}
+
 namespace {
 void PrintCells(const std::vector<std::string>& columns) {
   for (size_t i = 0; i < columns.size(); ++i) {

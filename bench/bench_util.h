@@ -38,6 +38,11 @@ Measurement MeasureQuery(Session* session, const std::string& sql,
 /// The standard strategy lineup of the evaluation section.
 std::vector<StrategyKind> EvaluationStrategies();
 
+/// Every strategy, including BU (excluded from the paper-figure lineup
+/// because it materializes each intermediate; the thread sweep includes it
+/// since BU's subtree- and morsel-parallelism profile differs from GBU's).
+std::vector<StrategyKind> AllStrategies();
+
 /// printf a row of right-aligned columns. `header` prints a rule under it.
 void PrintTableHeader(const std::vector<std::string>& columns);
 void PrintTableRow(const std::vector<std::string>& columns);

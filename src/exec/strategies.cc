@@ -1,12 +1,15 @@
 #include "exec/strategy.h"
 
 #include <atomic>
+#include <functional>
 #include <optional>
 #include <unordered_set>
+#include <utility>
 
 #include "common/string_util.h"
 #include "optimizer/extended_optimizer.h"
 #include "palgebra/p_ops.h"
+#include "parallel/morsel.h"
 #include "parallel/thread_pool.h"
 
 namespace prefdb {
@@ -60,15 +63,14 @@ bool HasPreferUnderSetOp(const PlanNode& node, bool under_setop = false) {
 StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs,
                                          Relation result,
                                          const AggregateFunction& agg,
-                                         Engine* engine) {
+                                         Engine* engine, ExecStats* stats) {
   // Each prefer pass is itself morsel-parallel over the materialized result
   // (the post-filter sweep of FtP); successive preferences stay ordered so
   // the fold into the score relation is deterministic.
   PRelation current(std::move(result));
   for (const PreferencePtr& pref : prefs) {
     ASSIGN_OR_RETURN(current,
-                     EvalPrefer(*pref, current, agg, &engine->catalog(),
-                                engine->mutable_stats(),
+                     EvalPrefer(*pref, current, agg, &engine->catalog(), stats,
                                 &engine->parallel_context()));
   }
   return current;
@@ -76,18 +78,19 @@ StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs
 
 // Executes `plans` against the engine and returns their results in plan
 // order. When the engine's parallel context allows, the queries run
-// concurrently: up to `threads` workers (the calling thread plus pool
-// tasks) claim plans from an atomic cursor, each executing into its own
-// ExecStats; the per-task stats are merged into the engine's counters in
-// plan order at the join point, so counter totals match serial execution.
+// concurrently (ParallelInvoke: the calling thread plus pool tasks claim
+// plans from a shared cursor), each executing into its own ExecStats; the
+// per-task stats are merged into `stats` in plan order at the join point,
+// so counter totals match serial execution.
 StatusOr<std::vector<Relation>> ExecuteEngineQueries(
-    const std::vector<const PlanNode*>& plans, Engine* engine) {
+    const std::vector<const PlanNode*>& plans, Engine* engine,
+    ExecStats* stats) {
   std::vector<Relation> results;
   results.reserve(plans.size());
   const ParallelContext& ctx = engine->parallel_context();
   if (ctx.IsSerial() || plans.size() < 2) {
     for (const PlanNode* plan : plans) {
-      ASSIGN_OR_RETURN(Relation rel, engine->Execute(*plan));
+      ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*plan, stats));
       results.push_back(std::move(rel));
     }
     return results;
@@ -95,21 +98,16 @@ StatusOr<std::vector<Relation>> ExecuteEngineQueries(
 
   std::vector<std::optional<StatusOr<Relation>>> partials(plans.size());
   std::vector<ExecStats> partial_stats(plans.size());
-  std::atomic<size_t> cursor{0};
-  auto drain = [&] {
-    size_t i;
-    while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) <
-           plans.size()) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    tasks.push_back([&partials, &partial_stats, &plans, engine, i] {
       partials[i] = engine->ExecuteConcurrent(*plans[i], &partial_stats[i]);
-    }
-  };
-  size_t workers = std::min(ctx.ResolvedThreads(), plans.size());
-  TaskGroup group(&ThreadPool::Shared());
-  for (size_t w = 1; w < workers; ++w) group.Run(drain);
-  drain();  // The calling thread participates; no idle wait, no deadlock.
-  group.Wait();
+    });
+  }
+  ParallelInvoke(ctx, tasks);
 
-  engine->mutable_stats()->MergeAll(partial_stats);
+  stats->MergeAll(partial_stats);
   for (std::optional<StatusOr<Relation>>& partial : partials) {
     RETURN_IF_ERROR(partial->status());
     results.push_back(std::move(**partial));
@@ -124,8 +122,10 @@ class FtPStrategy final : public Strategy {
  public:
   std::string_view name() const override { return "FtP"; }
 
-  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
-                              Engine* engine) override {
+  StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
+                                       const AggregateFunction& agg,
+                                       Engine* engine,
+                                       ExecStats* stats) override {
     if (HasPreferUnderSetOp(plan)) {
       return Status::Unimplemented(
           "FtP cannot evaluate prefer operators below set operations; "
@@ -135,9 +135,9 @@ class FtPStrategy final : public Strategy {
     // projected every attribute the prefer operators need, so they can be
     // evaluated directly on R_NP.
     PlanPtr q_np = StripPrefers(plan);
-    ASSIGN_OR_RETURN(Relation r_np, engine->Execute(*q_np));
+    ASSIGN_OR_RETURN(Relation r_np, engine->ExecuteConcurrent(*q_np, stats));
     std::vector<PreferencePtr> prefs = CollectPrefers(plan);
-    return ApplyPrefersOnResult(prefs, std::move(r_np), agg, engine);
+    return ApplyPrefersOnResult(prefs, std::move(r_np), agg, engine, stats);
   }
 };
 
@@ -148,72 +148,104 @@ class BUStrategy final : public Strategy {
  public:
   std::string_view name() const override { return "BU"; }
 
-  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
-                              Engine* engine) override {
-    return Eval(plan, agg, engine);
+  StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
+                                       const AggregateFunction& agg,
+                                       Engine* engine,
+                                       ExecStats* stats) override {
+    return Eval(plan, agg, engine, stats);
   }
 
  private:
+  // Evaluates the two children of a binary operator. Under a serial
+  // context this is the verbatim left-then-right recursion into the shared
+  // counters. Under a parallel context the subtrees — which share only the
+  // internally synchronized catalog and the read-only parallel context —
+  // are evaluated as independent tasks, each into its own ExecStats; the
+  // partials are merged into `stats` in plan order (left, then right) at
+  // the join point, so counter totals are identical to serial evaluation.
+  // Errors also surface in plan order: a left failure wins over a right
+  // one, exactly as serial short-circuiting reports it.
+  StatusOr<std::pair<PRelation, PRelation>> EvalChildren(
+      const PlanNode& node, const AggregateFunction& agg, Engine* engine,
+      ExecStats* stats) {
+    const ParallelContext& ctx = engine->parallel_context();
+    if (ctx.IsSerial()) {
+      ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine, stats));
+      ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine, stats));
+      return std::make_pair(std::move(left), std::move(right));
+    }
+    std::optional<StatusOr<PRelation>> results[2];
+    ExecStats partial_stats[2];
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < 2; ++i) {
+      tasks.push_back([this, &node, &agg, engine, &results, &partial_stats, i] {
+        results[i] = Eval(node.child(i), agg, engine, &partial_stats[i]);
+      });
+    }
+    ParallelInvoke(ctx, tasks);
+    stats->Merge(partial_stats[0]);
+    stats->Merge(partial_stats[1]);
+    RETURN_IF_ERROR(results[0]->status());
+    RETURN_IF_ERROR(results[1]->status());
+    return std::make_pair(std::move(**results[0]), std::move(**results[1]));
+  }
+
   StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
-                           Engine* engine) {
-    ExecStats* stats = engine->mutable_stats();
+                           Engine* engine, ExecStats* stats) {
+    const ParallelContext* parallel = &engine->parallel_context();
     switch (node.kind) {
       case PlanKind::kScan: {
         // Base access goes through the engine (one trivial query), like the
         // prototype's UDFs reading base relations from the DBMS.
-        ASSIGN_OR_RETURN(Relation rel, engine->Execute(node));
+        ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(node, stats));
         return PRelation(std::move(rel));
       }
       case PlanKind::kSelect: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
-        return PSelect(*node.predicate, input, stats,
-                       &engine->parallel_context());
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
+        return PSelect(*node.predicate, input, stats, parallel);
       }
       case PlanKind::kProject: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
         return PProject(node.project_columns, input, stats);
       }
       case PlanKind::kJoin: {
-        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
-        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
-        return PJoin(*node.predicate, left, right, agg, stats);
+        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        return PJoin(*node.predicate, children.first, children.second, agg,
+                     stats, parallel);
       }
       case PlanKind::kSemiJoin: {
-        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
-        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
-        return PSemiJoin(*node.predicate, left, right, stats);
+        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        return PSemiJoin(*node.predicate, children.first, children.second,
+                         stats, parallel);
       }
       case PlanKind::kUnion: {
-        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
-        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
-        return PUnion(left, right, agg, stats);
+        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        return PUnion(children.first, children.second, agg, stats, parallel);
       }
       case PlanKind::kIntersect: {
-        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
-        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
-        return PIntersect(left, right, agg, stats);
+        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        return PIntersect(children.first, children.second, agg, stats, parallel);
       }
       case PlanKind::kExcept: {
-        ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine));
-        ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine));
-        return PDiff(left, right, stats);
+        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        return PDiff(children.first, children.second, stats, parallel);
       }
       case PlanKind::kDistinct: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
         return PDistinct(input, stats);
       }
       case PlanKind::kSort: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
         return PSort(node.sort_keys, input, stats);
       }
       case PlanKind::kLimit: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
         return PLimit(node.limit, input, stats);
       }
       case PlanKind::kPrefer: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
         return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
-                          stats, &engine->parallel_context());
+                          stats, parallel);
       }
     }
     return Status::Internal("unknown plan kind");
@@ -223,20 +255,39 @@ class BUStrategy final : public Strategy {
 // ---------------------------------------------------------------------------
 // Group Bottom-Up (paper Alg. 2): defer and batch non-preference operators.
 
+// Drops the temporary tables registered during one GBU region evaluation
+// when the region goes out of scope — success, early error return, or an
+// exception alike — so a failed execution can never leak temps into the
+// shared catalog.
+class TempTableGuard {
+ public:
+  explicit TempTableGuard(Engine* engine) : engine_(engine) {}
+
+  TempTableGuard(const TempTableGuard&) = delete;
+  TempTableGuard& operator=(const TempTableGuard&) = delete;
+
+  ~TempTableGuard() {
+    for (const std::string& name : names_) {
+      engine_->mutable_catalog()->DropTable(name);
+    }
+  }
+
+  void Track(std::string name) { names_.push_back(std::move(name)); }
+
+ private:
+  Engine* engine_;
+  std::vector<std::string> names_;
+};
+
 class GBUStrategy final : public Strategy {
  public:
   std::string_view name() const override { return "GBU"; }
 
-  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
-                              Engine* engine) override {
-    temp_counter_ = 0;
-    StatusOr<PRelation> result = Eval(plan, agg, engine);
-    // Temporary relations are dropped regardless of success.
-    for (const std::string& name : temp_names_) {
-      engine->mutable_catalog()->DropTable(name);
-    }
-    temp_names_.clear();
-    return result;
+  StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
+                                       const AggregateFunction& agg,
+                                       Engine* engine,
+                                       ExecStats* stats) override {
+    return Eval(plan, agg, engine, stats);
   }
 
  private:
@@ -250,44 +301,112 @@ class GBUStrategy final : public Strategy {
   };
 
   StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
-                           Engine* engine) {
+                           Engine* engine, ExecStats* stats) {
     if (!node.ContainsPrefer()) {
       // Maximal non-preference subtree: one grouped query to the engine.
-      ASSIGN_OR_RETURN(Relation rel, engine->Execute(node));
+      ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(node, stats));
       return PRelation(std::move(rel));
     }
     if (node.kind == PlanKind::kPrefer) {
-      ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine));
-      return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
-                        engine->mutable_stats(), &engine->parallel_context());
+      ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
+      return EvalPrefer(*node.preference, input, agg, &engine->catalog(), stats,
+                        &engine->parallel_context());
     }
 
-    // An operator region above at least one prefer: clone the maximal
-    // non-prefer region rooted here, replacing each prefer-subtree with a
-    // scan of a freshly registered temporary table; delegate the region to
-    // the engine as a single query, then recombine the temporaries' score
-    // relations into the region output.
+    // An operator region above at least one prefer: materialize the
+    // region's prefer-subtrees (concurrently when the parallel context
+    // allows — they are independent and share only the catalog), clone the
+    // maximal non-prefer region rooted here with each prefer-subtree
+    // replaced by a scan of a freshly registered temporary table, delegate
+    // the region to the engine as a single query, then recombine the
+    // temporaries' score relations into the region output. The temps are
+    // needed only for the region query, so the guard scopes them to this
+    // region — released even on early error returns.
+    std::vector<const PlanNode*> prefer_roots;
+    CollectRegionPrefers(node, &prefer_roots);
+    ASSIGN_OR_RETURN(std::vector<PRelation> materialized,
+                     EvalPreferSubtrees(prefer_roots, agg, engine, stats));
+
+    TempTableGuard guard(engine);
     std::vector<TempInput> temps;
+    size_t next_materialized = 0;
     ASSIGN_OR_RETURN(PlanPtr region,
-                     CloneRegion(node, agg, engine, &temps,
+                     CloneRegion(node, engine, &materialized,
+                                 &next_materialized, &temps, &guard,
                                  /*score_contributing=*/true));
-    ASSIGN_OR_RETURN(Relation rel, engine->Execute(*region));
+    ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*region, stats));
 
     PRelation out(std::move(rel));
-    RETURN_IF_ERROR(RecombineScores(temps, agg, engine, &out));
+    RETURN_IF_ERROR(RecombineScores(temps, agg, &out, stats));
     return out;
   }
 
+  // Collects the prefer-subtree roots of the operator region rooted at
+  // `node`, in the order CloneRegion visits them (pre-order over children
+  // that still contain prefer operators).
+  void CollectRegionPrefers(const PlanNode& node,
+                            std::vector<const PlanNode*>* out) {
+    for (const PlanPtr& child : node.children) {
+      if (!child->ContainsPrefer()) continue;
+      if (child->kind == PlanKind::kPrefer) {
+        out->push_back(child.get());
+      } else {
+        CollectRegionPrefers(*child, out);
+      }
+    }
+  }
+
+  // Materializes the region's prefer-subtrees, in plan order. A serial
+  // context evaluates them left to right into the shared counters — the
+  // exact pre-parallel order. A parallel context evaluates them as
+  // independent tasks, each into its own ExecStats, merged into `stats` in
+  // plan order at the join point; errors likewise surface in plan order.
+  StatusOr<std::vector<PRelation>> EvalPreferSubtrees(
+      const std::vector<const PlanNode*>& roots, const AggregateFunction& agg,
+      Engine* engine, ExecStats* stats) {
+    std::vector<PRelation> results;
+    results.reserve(roots.size());
+    const ParallelContext& ctx = engine->parallel_context();
+    if (ctx.IsSerial() || roots.size() < 2) {
+      for (const PlanNode* root : roots) {
+        ASSIGN_OR_RETURN(PRelation sub, Eval(*root, agg, engine, stats));
+        results.push_back(std::move(sub));
+      }
+      return results;
+    }
+    std::vector<std::optional<StatusOr<PRelation>>> partials(roots.size());
+    std::vector<ExecStats> partial_stats(roots.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(roots.size());
+    for (size_t i = 0; i < roots.size(); ++i) {
+      tasks.push_back([this, &roots, &agg, engine, &partials, &partial_stats,
+                       i] {
+        partials[i] = Eval(*roots[i], agg, engine, &partial_stats[i]);
+      });
+    }
+    ParallelInvoke(ctx, tasks);
+    stats->MergeAll(partial_stats);
+    for (std::optional<StatusOr<PRelation>>& partial : partials) {
+      RETURN_IF_ERROR(partial->status());
+      results.push_back(std::move(**partial));
+    }
+    return results;
+  }
+
   // Clones `node`'s operator region. Children that contain prefer operators
-  // are evaluated recursively and replaced by temp-table scans; children
-  // without prefers stay in the region (the engine executes them as part of
-  // the same grouped query).
-  StatusOr<PlanPtr> CloneRegion(const PlanNode& node, const AggregateFunction& agg,
-                                Engine* engine, std::vector<TempInput>* temps,
-                                bool score_contributing) {
+  // were materialized up front (EvalPreferSubtrees, same visit order) and
+  // are consumed here via `next_materialized`, each replaced by a
+  // temp-table scan; children without prefers stay in the region (the
+  // engine executes them as part of the same grouped query).
+  StatusOr<PlanPtr> CloneRegion(const PlanNode& node, Engine* engine,
+                                std::vector<PRelation>* materialized,
+                                size_t* next_materialized,
+                                std::vector<TempInput>* temps,
+                                TempTableGuard* guard, bool score_contributing) {
     if (node.kind == PlanKind::kPrefer) {
-      ASSIGN_OR_RETURN(PRelation sub, Eval(node, agg, engine));
-      return RegisterTemp(std::move(sub), engine, temps, score_contributing);
+      PRelation sub = std::move((*materialized)[(*next_materialized)++]);
+      return RegisterTemp(std::move(sub), engine, temps, guard,
+                          score_contributing);
     }
     if (!node.ContainsPrefer()) {
       return node.Clone();
@@ -301,7 +420,8 @@ class GBUStrategy final : public Strategy {
           !((node.kind == PlanKind::kExcept || node.kind == PlanKind::kSemiJoin) &&
             i == 1);
       ASSIGN_OR_RETURN(copy->children[i],
-                       CloneRegion(node.child(i), agg, engine, temps,
+                       CloneRegion(node.child(i), engine, materialized,
+                                   next_materialized, temps, guard,
                                    child_contributes));
     }
     return copy;
@@ -309,8 +429,16 @@ class GBUStrategy final : public Strategy {
 
   StatusOr<PlanPtr> RegisterTemp(PRelation sub, Engine* engine,
                                  std::vector<TempInput>* temps,
+                                 TempTableGuard* guard,
                                  bool score_contributing) {
-    std::string name = StrFormat("__gbu_tmp_%zu", ++temp_counter_);
+    // Temp names come from a process-wide counter: concurrent GBU
+    // executions against one engine (and concurrent subtree tasks within
+    // one execution) must never collide in the shared catalog.
+    static std::atomic<uint64_t> temp_counter{0};
+    std::string name =
+        StrFormat("__gbu_tmp_%llu",
+                  static_cast<unsigned long long>(
+                      temp_counter.fetch_add(1, std::memory_order_relaxed) + 1));
     TempInput temp;
     temp.table_name = name;
     temp.contributes_scores = score_contributing;
@@ -325,7 +453,7 @@ class GBUStrategy final : public Strategy {
         Table::Create(name, sub.rel.schema(), std::move(*sub.rel.mutable_rows()),
                       temp.key_column_names, /*qualify_with_name=*/false));
     RETURN_IF_ERROR(engine->mutable_catalog()->AddTable(std::move(table)));
-    temp_names_.push_back(name);
+    guard->Track(name);
     temps->push_back(std::move(temp));
     return plan::Scan(name, name);
   }
@@ -336,8 +464,8 @@ class GBUStrategy final : public Strategy {
   // This is the paper's two-step evaluation of joins/set operations on
   // p-relations: conventional result first, then score combination.
   Status RecombineScores(const std::vector<TempInput>& temps,
-                         const AggregateFunction& agg, Engine* engine,
-                         PRelation* out) {
+                         const AggregateFunction& agg, PRelation* out,
+                         ExecStats* stats) {
     struct ResolvedTemp {
       const TempInput* temp;
       std::vector<size_t> key_indices;
@@ -364,7 +492,6 @@ class GBUStrategy final : public Strategy {
     }
     if (resolved.empty()) return Status::OK();
 
-    ExecStats* stats = engine->mutable_stats();
     for (const Tuple& row : out->rel.rows()) {
       ScoreConf pair;  // Identity.
       for (const ResolvedTemp& rt : resolved) {
@@ -378,9 +505,6 @@ class GBUStrategy final : public Strategy {
     }
     return Status::OK();
   }
-
-  size_t temp_counter_ = 0;
-  std::vector<std::string> temp_names_;
 };
 
 // ---------------------------------------------------------------------------
@@ -395,8 +519,10 @@ class PlugInStrategy final : public Strategy {
     return combined_ ? "PlugInCombined" : "PlugInBasic";
   }
 
-  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
-                              Engine* engine) override {
+  StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
+                                       const AggregateFunction& agg,
+                                       Engine* engine,
+                                       ExecStats* stats) override {
     if (HasPreferUnderSetOp(plan)) {
       return Status::Unimplemented(
           "plug-in strategies cannot evaluate prefer operators below set "
@@ -406,16 +532,17 @@ class PlugInStrategy final : public Strategy {
     std::vector<PreferencePtr> prefs = CollectPrefers(plan);
 
     // Materialize the full (non-preference) answer.
-    ASSIGN_OR_RETURN(Relation r_np, engine->Execute(*q_np));
+    ASSIGN_OR_RETURN(Relation r_np, engine->ExecuteConcurrent(*q_np, stats));
     PRelation result(std::move(r_np));
 
     ASSIGN_OR_RETURN(PlanShape np_shape,
                      DerivePlanShape(*q_np, engine->catalog()));
     if (combined_) {
       return ExecuteCombined(std::move(result), *q_np, np_shape, prefs, agg,
-                             engine);
+                             engine, stats);
     }
-    return ExecuteBasic(std::move(result), *q_np, np_shape, prefs, agg, engine);
+    return ExecuteBasic(std::move(result), *q_np, np_shape, prefs, agg, engine,
+                        stats);
   }
 
  private:
@@ -429,7 +556,8 @@ class PlugInStrategy final : public Strategy {
   StatusOr<PRelation> ExecuteBasic(PRelation result, const PlanNode& q_np,
                                    const PlanShape& np_shape,
                                    const std::vector<PreferencePtr>& prefs,
-                                   const AggregateFunction& agg, Engine* engine) {
+                                   const AggregateFunction& agg, Engine* engine,
+                                   ExecStats* stats) {
     std::vector<PlanPtr> rewrites;
     rewrites.reserve(prefs.size());
     for (const PreferencePtr& pref : prefs) {
@@ -449,9 +577,10 @@ class PlugInStrategy final : public Strategy {
     plans.reserve(rewrites.size());
     for (const PlanPtr& plan : rewrites) plans.push_back(plan.get());
     ASSIGN_OR_RETURN(std::vector<Relation> partials,
-                     ExecuteEngineQueries(plans, engine));
+                     ExecuteEngineQueries(plans, engine, stats));
     for (size_t i = 0; i < prefs.size(); ++i) {
-      RETURN_IF_ERROR(MergePartial(*prefs[i], partials[i], agg, engine, &result));
+      RETURN_IF_ERROR(
+          MergePartial(*prefs[i], partials[i], agg, stats, &result));
     }
     return result;
   }
@@ -466,7 +595,7 @@ class PlugInStrategy final : public Strategy {
                                       const PlanShape& np_shape,
                                       const std::vector<PreferencePtr>& prefs,
                                       const AggregateFunction& agg,
-                                      Engine* engine) {
+                                      Engine* engine, ExecStats* stats) {
     std::vector<const Preference*> plain;
     std::vector<const Preference*> membership;
     for (const PreferencePtr& pref : prefs) {
@@ -500,18 +629,18 @@ class PlugInStrategy final : public Strategy {
     plans.reserve(rewrites.size());
     for (const PlanPtr& plan : rewrites) plans.push_back(plan.get());
     ASSIGN_OR_RETURN(std::vector<Relation> materialized,
-                     ExecuteEngineQueries(plans, engine));
+                     ExecuteEngineQueries(plans, engine, stats));
 
     size_t next = 0;
     if (!plain.empty()) {
       const Relation& matched = materialized[next++];
       for (const Preference* pref : plain) {
-        RETURN_IF_ERROR(MergePartial(*pref, matched, agg, engine, &result));
+        RETURN_IF_ERROR(MergePartial(*pref, matched, agg, stats, &result));
       }
     }
     for (const Preference* pref : membership) {
       RETURN_IF_ERROR(
-          MergePartial(*pref, materialized[next++], agg, engine, &result));
+          MergePartial(*pref, materialized[next++], agg, stats, &result));
     }
     return result;
   }
@@ -520,13 +649,12 @@ class PlugInStrategy final : public Strategy {
   // folds them into the final answer's score relation. Re-checks the
   // conditional part, since the combined rewrite over-fetches (disjunction).
   Status MergePartial(const Preference& pref, const Relation& partial,
-                      const AggregateFunction& agg, Engine* engine,
+                      const AggregateFunction& agg, ExecStats* stats,
                       PRelation* result) {
     ExprPtr condition = pref.CloneCondition();
     RETURN_IF_ERROR(condition->Bind(partial.schema()));
     ScoringFunction scoring = pref.CloneScoring();
     RETURN_IF_ERROR(scoring.Bind(partial.schema()));
-    ExecStats* stats = engine->mutable_stats();
     for (const Tuple& row : partial.rows()) {
       if (!IsTruthy(condition->Eval(row))) continue;
       std::optional<double> score = scoring.Score(row);

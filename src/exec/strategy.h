@@ -49,9 +49,22 @@ class Strategy {
   /// Evaluates `plan` with aggregate function `agg`. Statistics (engine
   /// queries, tuples materialized, score entries) accumulate on the
   /// engine's counters.
-  virtual StatusOr<PRelation> Execute(const PlanNode& plan,
-                                      const AggregateFunction& agg,
-                                      Engine* engine) = 0;
+  StatusOr<PRelation> Execute(const PlanNode& plan, const AggregateFunction& agg,
+                              Engine* engine) {
+    return ExecuteWithStats(plan, agg, engine, engine->mutable_stats());
+  }
+
+  /// Like Execute(), but accumulates all counters into the caller-provided
+  /// `stats`. Strategies are stateless and route every counter write —
+  /// including delegated engine queries, via Engine::ExecuteConcurrent —
+  /// through `stats`, so concurrent executions against one engine are safe
+  /// as long as each caller supplies its own ExecStats (they then share
+  /// only the internally synchronized catalog and the read-only parallel
+  /// context).
+  virtual StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
+                                               const AggregateFunction& agg,
+                                               Engine* engine,
+                                               ExecStats* stats) = 0;
 };
 
 /// Creates the strategy implementation for `kind`.

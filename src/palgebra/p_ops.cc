@@ -1,9 +1,10 @@
 #include "palgebra/p_ops.h"
 
 #include <algorithm>
-
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/string_util.h"
 #include "parallel/morsel.h"
@@ -22,16 +23,58 @@ MorselPlan PlanFor(size_t n, const ParallelContext* parallel) {
 
 // Copies the score entries of surviving rows from `input` into `out`.
 // Used by operators that drop tuples (select, semijoin, set difference).
-void CarryScores(const PRelation& input, PRelation* out, ExecStats* stats) {
+// Parallel plans probe the input score relation in concurrent morsels
+// (key extraction + hash lookup per surviving row); each morsel buffers
+// its hits, and the buffers are folded into the output score relation in
+// morsel order — the same entries, in the same order, as the serial scan.
+void CarryScores(const PRelation& input, PRelation* out, ExecStats* stats,
+                 const ParallelContext* parallel = nullptr) {
   out->scores.Reserve(std::min(input.scores.size(), out->rel.NumRows()));
-  for (const Tuple& row : out->rel.rows()) {
-    Tuple key = out->rel.KeyOf(row);
-    const ScoreConf& pair = input.scores.Lookup(key);
-    if (!pair.IsDefault()) {
-      out->scores.Set(key, pair);
+  MorselPlan plan = PlanFor(out->rel.NumRows(), parallel);
+  if (plan.serial() || input.scores.empty()) {
+    for (const Tuple& row : out->rel.rows()) {
+      Tuple key = out->rel.KeyOf(row);
+      const ScoreConf& pair = input.scores.Lookup(key);
+      if (!pair.IsDefault()) {
+        out->scores.Set(key, pair);
+        ++stats->score_entries_written;
+      }
+    }
+    return;
+  }
+  const std::vector<Tuple>& rows = out->rel.rows();
+  std::vector<std::vector<std::pair<Tuple, ScoreConf>>> hits(
+      plan.morsel_count());
+  ParallelFor(plan, [&](size_t, const Morsel& m) {
+    std::vector<std::pair<Tuple, ScoreConf>>& local = hits[m.index];
+    for (size_t i = m.begin; i < m.end; ++i) {
+      Tuple key = out->rel.KeyOf(rows[i]);
+      const ScoreConf& pair = input.scores.Lookup(key);
+      if (!pair.IsDefault()) local.emplace_back(std::move(key), pair);
+    }
+  });
+  for (std::vector<std::pair<Tuple, ScoreConf>>& local : hits) {
+    for (std::pair<Tuple, ScoreConf>& hit : local) {
+      out->scores.Set(hit.first, hit.second);
       ++stats->score_entries_written;
     }
   }
+}
+
+// Precomputes, in concurrent morsels, whether each row of `rows` occurs in
+// `set` — the hash-probe half of the set operations, hoisted out of their
+// (order-dependent, serial) duplicate-elimination loops.
+std::vector<uint8_t> ParallelMembership(
+    const std::vector<Tuple>& rows,
+    const std::unordered_set<Tuple, TupleHash, TupleEq>& set,
+    const MorselPlan& plan) {
+  std::vector<uint8_t> member(rows.size(), 0);
+  ParallelFor(plan, [&](size_t, const Morsel& m) {
+    for (size_t i = m.begin; i < m.end; ++i) {
+      member[i] = set.count(rows[i]) > 0 ? 1 : 0;
+    }
+  });
+  return member;
 }
 
 // Finds an equality conjunct usable for a hash join between the two sides
@@ -113,7 +156,7 @@ StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
-  CarryScores(input, &out, stats);
+  CarryScores(input, &out, stats, parallel);
   return out;
 }
 
@@ -164,7 +207,7 @@ StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
 
 StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
                           const PRelation& right, const AggregateFunction& agg,
-                          ExecStats* stats) {
+                          ExecStats* stats, const ParallelContext* parallel) {
   ++stats->operator_invocations;
   Schema combined = left.rel.schema().Concat(right.rel.schema());
   ExprPtr bound = predicate.Clone();
@@ -187,6 +230,38 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
     }
   };
 
+  // Per-morsel buffers for the parallel probe: joined rows plus each row's
+  // combined pair (computed in the morsel — two score lookups and an `F`
+  // fold per match). Concatenating buffers in morsel order reproduces the
+  // serial output row order and score-relation contents exactly; the
+  // bound predicate, the build table, and both inputs are read-only here.
+  struct MatchBuffer {
+    std::vector<Tuple> rows;
+    std::vector<ScoreConf> pairs;
+  };
+  auto emit_local = [&](MatchBuffer* local, const Tuple& lrow,
+                        const Tuple& rrow, Tuple joined) {
+    local->rows.push_back(std::move(joined));
+    local->pairs.push_back(
+        CombineCounted(agg, left.ScoreOf(lrow), right.ScoreOf(rrow)));
+  };
+  auto merge_local = [&](std::vector<MatchBuffer>* buffers) {
+    size_t total = 0;
+    for (const MatchBuffer& local : *buffers) total += local.rows.size();
+    out.rel.Reserve(total);
+    for (MatchBuffer& local : *buffers) {
+      for (size_t i = 0; i < local.rows.size(); ++i) {
+        out.rel.AddRow(std::move(local.rows[i]));
+        if (!local.pairs[i].IsDefault()) {
+          out.scores.Set(out.rel.KeyOf(out.rel.rows().back()), local.pairs[i]);
+          ++stats->score_entries_written;
+        }
+      }
+    }
+  };
+
+  const std::vector<Tuple>& lrows = left.rel.rows();
+  MorselPlan plan = PlanFor(lrows.size(), parallel);
   std::string left_col;
   std::string right_col;
   if (FindEquiConjunct(predicate, left.rel.schema(), right.rel.schema(),
@@ -199,24 +274,61 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
     for (size_t i = 0; i < rrows.size(); ++i) {
       build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
     }
-    for (const Tuple& lrow : left.rel.rows()) {
-      auto it = build.find(lrow[li]);
-      if (it == build.end()) continue;
-      for (uint32_t pos : it->second) {
-        Tuple joined = ConcatTuples(lrow, rrows[pos]);
-        if (IsTruthy(bound->Eval(joined))) {
-          emit(lrow, rrows[pos], std::move(joined));
+    if (plan.serial()) {
+      for (const Tuple& lrow : lrows) {
+        auto it = build.find(lrow[li]);
+        if (it == build.end()) continue;
+        for (uint32_t pos : it->second) {
+          Tuple joined = ConcatTuples(lrow, rrows[pos]);
+          if (IsTruthy(bound->Eval(joined))) {
+            emit(lrow, rrows[pos], std::move(joined));
+          }
         }
       }
+    } else {
+      std::vector<MatchBuffer> buffers(plan.morsel_count());
+      ParallelFor(plan, [&](size_t, const Morsel& m) {
+        MatchBuffer& local = buffers[m.index];
+        for (size_t i = m.begin; i < m.end; ++i) {
+          const Tuple& lrow = lrows[i];
+          auto it = build.find(lrow[li]);
+          if (it == build.end()) continue;
+          for (uint32_t pos : it->second) {
+            Tuple joined = ConcatTuples(lrow, rrows[pos]);
+            if (IsTruthy(bound->Eval(joined))) {
+              emit_local(&local, lrow, rrows[pos], std::move(joined));
+            }
+          }
+        }
+      });
+      merge_local(&buffers);
     }
   } else {
-    for (const Tuple& lrow : left.rel.rows()) {
-      for (const Tuple& rrow : right.rel.rows()) {
-        Tuple joined = ConcatTuples(lrow, rrow);
-        if (IsTruthy(bound->Eval(joined))) {
-          emit(lrow, rrow, std::move(joined));
+    const std::vector<Tuple>& rrows = right.rel.rows();
+    if (plan.serial()) {
+      for (const Tuple& lrow : lrows) {
+        for (const Tuple& rrow : rrows) {
+          Tuple joined = ConcatTuples(lrow, rrow);
+          if (IsTruthy(bound->Eval(joined))) {
+            emit(lrow, rrow, std::move(joined));
+          }
         }
       }
+    } else {
+      std::vector<MatchBuffer> buffers(plan.morsel_count());
+      ParallelFor(plan, [&](size_t, const Morsel& m) {
+        MatchBuffer& local = buffers[m.index];
+        for (size_t i = m.begin; i < m.end; ++i) {
+          const Tuple& lrow = lrows[i];
+          for (const Tuple& rrow : rrows) {
+            Tuple joined = ConcatTuples(lrow, rrow);
+            if (IsTruthy(bound->Eval(joined))) {
+              emit_local(&local, lrow, rrow, std::move(joined));
+            }
+          }
+        }
+      });
+      merge_local(&buffers);
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
@@ -224,7 +336,8 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
 }
 
 StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
-                              const PRelation& right, ExecStats* stats) {
+                              const PRelation& right, ExecStats* stats,
+                              const ParallelContext* parallel) {
   ++stats->operator_invocations;
   Schema combined = left.rel.schema().Concat(right.rel.schema());
   ExprPtr bound = predicate.Clone();
@@ -233,6 +346,17 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
   PRelation out;
   out.rel = Relation(left.rel.schema());
   out.rel.set_key_columns(left.rel.key_columns());
+
+  // Each left row's qualification is independent, so the probe runs in
+  // morsels; qualified rows are appended serially in input order (the
+  // per-row flag buffer keeps the output row order bit-identical).
+  const std::vector<Tuple>& lrows = left.rel.rows();
+  MorselPlan plan = PlanFor(lrows.size(), parallel);
+  auto emit_qualified = [&](const std::vector<uint8_t>& qualified) {
+    for (size_t i = 0; i < lrows.size(); ++i) {
+      if (qualified[i]) out.rel.AddRow(lrows[i]);
+    }
+  };
 
   std::string left_col;
   std::string right_col;
@@ -245,35 +369,59 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
     for (size_t i = 0; i < rrows.size(); ++i) {
       build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
     }
-    for (const Tuple& lrow : left.rel.rows()) {
+    auto matches = [&](const Tuple& lrow) {
       auto it = build.find(lrow[li]);
-      if (it == build.end()) continue;
+      if (it == build.end()) return false;
       for (uint32_t pos : it->second) {
         Tuple joined = ConcatTuples(lrow, rrows[pos]);
-        if (IsTruthy(bound->Eval(joined))) {
-          out.rel.AddRow(lrow);
-          break;
-        }
+        if (IsTruthy(bound->Eval(joined))) return true;
       }
+      return false;
+    };
+    if (plan.serial()) {
+      for (const Tuple& lrow : lrows) {
+        if (matches(lrow)) out.rel.AddRow(lrow);
+      }
+    } else {
+      std::vector<uint8_t> qualified(lrows.size(), 0);
+      ParallelFor(plan, [&](size_t, const Morsel& m) {
+        for (size_t i = m.begin; i < m.end; ++i) {
+          qualified[i] = matches(lrows[i]) ? 1 : 0;
+        }
+      });
+      emit_qualified(qualified);
     }
   } else {
-    for (const Tuple& lrow : left.rel.rows()) {
-      for (const Tuple& rrow : right.rel.rows()) {
+    const std::vector<Tuple>& rrows = right.rel.rows();
+    auto matches = [&](const Tuple& lrow) {
+      for (const Tuple& rrow : rrows) {
         Tuple joined = ConcatTuples(lrow, rrow);
-        if (IsTruthy(bound->Eval(joined))) {
-          out.rel.AddRow(lrow);
-          break;
-        }
+        if (IsTruthy(bound->Eval(joined))) return true;
       }
+      return false;
+    };
+    if (plan.serial()) {
+      for (const Tuple& lrow : lrows) {
+        if (matches(lrow)) out.rel.AddRow(lrow);
+      }
+    } else {
+      std::vector<uint8_t> qualified(lrows.size(), 0);
+      ParallelFor(plan, [&](size_t, const Morsel& m) {
+        for (size_t i = m.begin; i < m.end; ++i) {
+          qualified[i] = matches(lrows[i]) ? 1 : 0;
+        }
+      });
+      emit_qualified(qualified);
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
-  CarryScores(left, &out, stats);
+  CarryScores(left, &out, stats, parallel);
   return out;
 }
 
 StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
-                           const AggregateFunction& agg, ExecStats* stats) {
+                           const AggregateFunction& agg, ExecStats* stats,
+                           const ParallelContext* parallel) {
   ++stats->operator_invocations;
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
@@ -282,12 +430,25 @@ StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
 
   std::unordered_set<Tuple, TupleHash, TupleEq> right_set(right.rel.rows().begin(),
                                                           right.rel.rows().end());
+  // The right-side membership probes are hoisted into a parallel pass; the
+  // emit loop below stays serial because duplicate elimination is
+  // first-occurrence-wins over the interleaved left/right order. The flags
+  // are pure functions of the inputs, so the emitted rows, pairs and
+  // counters are exactly the serial ones.
+  const std::vector<Tuple>& lrows = left.rel.rows();
+  MorselPlan plan = PlanFor(lrows.size(), parallel);
+  std::vector<uint8_t> in_right;
+  if (!plan.serial()) in_right = ParallelMembership(lrows, right_set, plan);
+
   std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
-  for (const Tuple& row : left.rel.rows()) {
+  for (size_t i = 0; i < lrows.size(); ++i) {
+    const Tuple& row = lrows[i];
     if (!emitted.insert(row).second) continue;
     out.rel.AddRow(row);
     ScoreConf pair = left.ScoreOf(row);
-    if (right_set.count(row) > 0) {
+    bool in_both =
+        plan.serial() ? right_set.count(row) > 0 : in_right[i] != 0;
+    if (in_both) {
       pair = CombineCounted(agg, pair, right.ScoreOf(row));
     }
     if (!pair.IsDefault()) {
@@ -309,7 +470,8 @@ StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
 }
 
 StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
-                               const AggregateFunction& agg, ExecStats* stats) {
+                               const AggregateFunction& agg, ExecStats* stats,
+                               const ParallelContext* parallel) {
   ++stats->operator_invocations;
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
@@ -318,9 +480,17 @@ StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
 
   std::unordered_set<Tuple, TupleHash, TupleEq> right_set(right.rel.rows().begin(),
                                                           right.rel.rows().end());
+  const std::vector<Tuple>& lrows = left.rel.rows();
+  MorselPlan plan = PlanFor(lrows.size(), parallel);
+  std::vector<uint8_t> in_right;
+  if (!plan.serial()) in_right = ParallelMembership(lrows, right_set, plan);
+
   std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
-  for (const Tuple& row : left.rel.rows()) {
-    if (right_set.count(row) == 0) continue;
+  for (size_t i = 0; i < lrows.size(); ++i) {
+    const Tuple& row = lrows[i];
+    bool in_both =
+        plan.serial() ? right_set.count(row) > 0 : in_right[i] != 0;
+    if (!in_both) continue;
     if (!emitted.insert(row).second) continue;
     out.rel.AddRow(row);
     ScoreConf pair = CombineCounted(agg, left.ScoreOf(row), right.ScoreOf(row));
@@ -334,7 +504,7 @@ StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
 }
 
 StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
-                          ExecStats* stats) {
+                          ExecStats* stats, const ParallelContext* parallel) {
   ++stats->operator_invocations;
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
@@ -342,14 +512,22 @@ StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
   out.rel.set_key_columns(left.rel.key_columns());
   std::unordered_set<Tuple, TupleHash, TupleEq> right_set(right.rel.rows().begin(),
                                                           right.rel.rows().end());
+  const std::vector<Tuple>& lrows = left.rel.rows();
+  MorselPlan plan = PlanFor(lrows.size(), parallel);
+  std::vector<uint8_t> in_right;
+  if (!plan.serial()) in_right = ParallelMembership(lrows, right_set, plan);
+
   std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
-  for (const Tuple& row : left.rel.rows()) {
-    if (right_set.count(row) > 0) continue;
+  for (size_t i = 0; i < lrows.size(); ++i) {
+    const Tuple& row = lrows[i];
+    bool in_both =
+        plan.serial() ? right_set.count(row) > 0 : in_right[i] != 0;
+    if (in_both) continue;
     if (!emitted.insert(row).second) continue;
     out.rel.AddRow(row);
   }
   stats->tuples_materialized += out.rel.NumRows();
-  CarryScores(left, &out, stats);
+  CarryScores(left, &out, stats, parallel);
   return out;
 }
 

@@ -21,11 +21,13 @@ namespace prefdb {
 /// stored, keys follow the relation's canonical key order, and binary
 /// operators combine pairs with the aggregate function `F`.
 ///
-/// Tuple-local operators (selection, prefer) accept an optional
-/// ParallelContext and evaluate the input in concurrent morsels when it is
-/// non-null and non-serial; per-morsel partial results are merged in morsel
-/// order, so output is deterministic for a fixed context. Passing nullptr
-/// (or a serial context) takes the original single-threaded code path.
+/// Operators with a per-tuple hot loop — selection, prefer, the join probe
+/// phase, the set operations' membership checks, and the score carry-over
+/// of tuple-dropping operators — accept an optional ParallelContext and
+/// evaluate the input in concurrent morsels when it is non-null and
+/// non-serial; per-morsel partial results are merged in morsel order, so
+/// output is deterministic for a fixed context. Passing nullptr (or a
+/// serial context) takes the original single-threaded code path.
 
 /// σ_φ over a p-relation: hard boolean filter; surviving tuples keep their
 /// pairs (score entries of dropped tuples are pruned). Parallel evaluation
@@ -42,27 +44,41 @@ StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
 
 /// Inner join ⋈_{φ,F}: joins tuples and combines their pairs with `F`
 /// (paper Fig. 3). The output key is the concatenation of the input keys.
+/// Parallel evaluation morselizes the probe side (the hash build stays
+/// serial): each morsel emits its joined rows and combined pairs into
+/// local buffers, concatenated in morsel order — row order and the score
+/// relation are bit-identical to serial execution.
 StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
                           const PRelation& right, const AggregateFunction& agg,
-                          ExecStats* stats);
+                          ExecStats* stats,
+                          const ParallelContext* parallel = nullptr);
 
 /// Left semijoin ⋉_φ: keeps left tuples with at least one match; left pairs
-/// are kept unchanged (the right side only qualifies tuples).
+/// are kept unchanged (the right side only qualifies tuples). Parallel
+/// evaluation morselizes the left-side probe like PJoin.
 StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
-                              const PRelation& right, ExecStats* stats);
+                              const PRelation& right, ExecStats* stats,
+                              const ParallelContext* parallel = nullptr);
 
 /// Set union ∪_F with duplicate elimination; pairs of tuples present in
-/// both inputs are combined with `F`.
+/// both inputs are combined with `F`. Parallel evaluation precomputes the
+/// left side's membership probes against the right-side hash set in
+/// concurrent morsels; duplicate elimination (inherently sequential —
+/// first occurrence wins) stays serial over the precomputed flags.
 StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
-                           const AggregateFunction& agg, ExecStats* stats);
+                           const AggregateFunction& agg, ExecStats* stats,
+                           const ParallelContext* parallel = nullptr);
 
-/// Set intersection ∩_F; pairs combined with `F`.
+/// Set intersection ∩_F; pairs combined with `F`. Parallelizes like PUnion.
 StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
-                               const AggregateFunction& agg, ExecStats* stats);
+                               const AggregateFunction& agg, ExecStats* stats,
+                               const ParallelContext* parallel = nullptr);
 
 /// Set difference: tuples of `left` not in `right`, keeping left pairs.
+/// Parallelizes like PUnion.
 StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
-                          ExecStats* stats);
+                          ExecStats* stats,
+                          const ParallelContext* parallel = nullptr);
 
 /// Duplicate elimination over a p-relation (pairs unaffected: duplicate
 /// tuples share a key and therefore a pair).

@@ -61,4 +61,31 @@ void ParallelFor(const MorselPlan& plan,
   if (caller_error) std::rethrow_exception(caller_error);
 }
 
+void ParallelInvoke(const ParallelContext& ctx,
+                    const std::vector<std::function<void()>>& fns) {
+  if (ctx.IsSerial() || fns.size() < 2) {
+    for (const std::function<void()>& fn : fns) fn();
+    return;
+  }
+  std::atomic<size_t> cursor{0};
+  auto drain = [&fns, &cursor] {
+    size_t i;
+    while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) < fns.size()) {
+      fns[i]();
+    }
+  };
+  size_t workers = std::min(ctx.ResolvedThreads(), fns.size());
+  TaskGroup group(&ThreadPool::Shared());
+  for (size_t w = 1; w < workers; ++w) group.Run(drain);
+  // The caller participates; error handling mirrors ParallelFor.
+  std::exception_ptr caller_error;
+  try {
+    drain();
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  group.Wait();
+  if (caller_error) std::rethrow_exception(caller_error);
+}
+
 }  // namespace prefdb

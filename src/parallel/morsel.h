@@ -66,6 +66,26 @@ class MorselPlan {
 void ParallelFor(const MorselPlan& plan,
                  const std::function<void(size_t slot, const Morsel&)>& fn);
 
+/// Runs every function in `fns` exactly once, with up to
+/// `ctx.ResolvedThreads()` concurrent workers. The coarse-grained sibling
+/// of ParallelFor, used for independent units that are not row ranges:
+/// plan subtrees (BU's join/set-operation children, GBU's prefer-subtree
+/// materializations) and batches of engine queries (the plug-ins).
+///
+/// Serial contexts — or fewer than two functions — run everything in index
+/// order on the calling thread, taking exactly the code path a serial
+/// caller would have written. Parallel contexts dispatch `workers - 1`
+/// pool tasks and use the calling thread as a worker; all workers claim
+/// function indices from a shared atomic cursor, so the caller alone can
+/// drain the batch if the pool is saturated, and nested invocations are
+/// deadlock-free (TaskGroup joins help the pool while waiting). Functions
+/// must be safe to run concurrently with each other and must communicate
+/// results through their own slots (e.g. a pre-sized vector of optionals);
+/// the first exception thrown by any function is rethrown here after all
+/// of them finish.
+void ParallelInvoke(const ParallelContext& ctx,
+                    const std::vector<std::function<void()>>& fns);
+
 }  // namespace prefdb
 
 #endif  // PREFDB_PARALLEL_MORSEL_H_

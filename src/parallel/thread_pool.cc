@@ -59,6 +59,23 @@ bool ThreadPool::NextTask(size_t worker_index, std::function<void()>* task) {
   return false;
 }
 
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::deque<std::function<void()>>& queue : queues_) {
+      if (!queue.empty()) {
+        task = std::move(queue.front());
+        queue.pop_front();
+        break;
+      }
+    }
+  }
+  if (!task) return false;
+  task();
+  return true;
+}
+
 void ThreadPool::WorkerLoop(size_t worker_index) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -105,18 +122,35 @@ void TaskGroup::Run(std::function<void()> fn) {
   });
 }
 
+void TaskGroup::HelpUntilDone() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (pending_ == 0) return;
+    }
+    // Run queued work (any group's) rather than sleeping: this is what
+    // keeps nested joins deadlock-free when every pool worker is itself
+    // blocked in a Wait.
+    if (pool_->TryRunOneTask()) continue;
+    // Every queue was empty, so all of this group's pending tasks are
+    // running on other threads (tasks are enqueued only by the owner, who
+    // is here). Their completion decrements pending_ and notifies under
+    // mu_, so blocking cannot miss the wakeup.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return pending_ == 0; });
+    return;
+  }
+}
+
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  HelpUntilDone();
+  std::lock_guard<std::mutex> lock(mu_);
   if (error_) {
     std::exception_ptr error = std::exchange(error_, nullptr);
     std::rethrow_exception(error);
   }
 }
 
-void TaskGroup::WaitNoThrow() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
-}
+void TaskGroup::WaitNoThrow() { HelpUntilDone(); }
 
 }  // namespace prefdb

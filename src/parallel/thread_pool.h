@@ -45,6 +45,14 @@ class ThreadPool {
   /// queued on (telemetry; exercised by the skew tests).
   size_t steal_count() const;
 
+  /// Pops one queued task (any queue) and runs it on the calling thread.
+  /// Returns false without blocking when every queue is empty. This is the
+  /// "helping" half of TaskGroup::Wait: a thread blocked on a join drains
+  /// queued work instead of sleeping, so nested parallel regions (a task
+  /// that itself spawns and joins a group) cannot deadlock even when every
+  /// pool worker is parked in a Wait of its own. Not counted as a steal.
+  bool TryRunOneTask();
+
   /// The process-wide pool, created on first use and sized to the hardware
   /// concurrency. Parallel operators cap their concurrency with
   /// ParallelContext::threads, so a single shared pool serves every
@@ -70,6 +78,16 @@ class ThreadPool {
 /// thrown by tasks are captured; Wait() rethrows the first one after every
 /// task of the group has finished (the rest of the batch still runs — the
 /// caller's partial results stay consistent).
+///
+/// Wait() is a *helping* join: while tasks of this group are still queued
+/// or running, the waiter executes queued pool tasks (its own group's or
+/// any other's) instead of sleeping, and only blocks once every queue is
+/// empty — at which point all remaining pending tasks are actively running
+/// on other threads. Since a group's tasks are enqueued only by its owner
+/// before it joins, wait-for edges follow the spawn tree and the leaf-most
+/// running tasks always make progress, so nested fork/join regions (plan
+/// subtrees that spawn their own groups, morsel loops inside subtree
+/// tasks) are deadlock-free at any pool size.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
@@ -89,6 +107,8 @@ class TaskGroup {
 
  private:
   void WaitNoThrow();
+  /// Helps the pool until this group's pending count reaches zero.
+  void HelpUntilDone();
 
   ThreadPool* pool_;
   std::mutex mu_;

@@ -16,6 +16,14 @@ ScoreConf FSum::Combine(const ScoreConf& a, const ScoreConf& b) const {
   if (a.IsDefault()) return b;
   if (b.IsDefault()) return a;
   double total_conf = a.conf() + b.conf();
+  // Two pairs carrying zero total evidence have no weight to average by;
+  // dividing would poison every downstream combine with NaN. Zero-evidence
+  // inputs combine to the identity ("still no knowledge"), which keeps F_S
+  // total without breaking the identity law. ScoreConf::Known normalizes
+  // conf <= 0 to the identity, so this guard can only trigger on pairs
+  // built outside that invariant — it makes the NaN impossible rather
+  // than merely unreachable.
+  if (total_conf <= 0.0) return ScoreConf::Identity();
   double score = (a.conf() * a.score() + b.conf() * b.score()) / total_conf;
   return ScoreConf::Known(score, total_conf);
 }

@@ -6,8 +6,22 @@
 
 namespace prefdb {
 
+Catalog::Catalog(Catalog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  tables_ = std::move(other.tables_);
+}
+
+Catalog& Catalog::operator=(Catalog&& other) noexcept {
+  if (this != &other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    tables_ = std::move(other.tables_);
+  }
+  return *this;
+}
+
 Status Catalog::AddTable(std::unique_ptr<Table> table) {
   std::string key = ToUpper(table->name());
+  std::lock_guard<std::mutex> lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table already exists: " + table->name());
   }
@@ -25,7 +39,9 @@ Status Catalog::CreateTable(std::string name, Schema schema,
 }
 
 StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
-  auto it = tables_.find(ToUpper(name));
+  std::string key = ToUpper(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table not found: " + name);
   }
@@ -33,15 +49,20 @@ StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.count(ToUpper(name)) > 0;
+  std::string key = ToUpper(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(key) > 0;
 }
 
 void Catalog::DropTable(const std::string& name) {
-  tables_.erase(ToUpper(name));
+  std::string key = ToUpper(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(key);
 }
 
 std::vector<std::string> Catalog::TableNames() const {
   std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
   std::sort(names.begin(), names.end());
@@ -49,6 +70,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::TotalRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
   for (const auto& [key, table] : tables_) total += table->NumRows();
   return total;

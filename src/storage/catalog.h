@@ -2,6 +2,7 @@
 #define PREFDB_STORAGE_CATALOG_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,15 +16,26 @@ namespace prefdb {
 /// case-insensitive name. Owns the tables. This is the substrate's
 /// equivalent of the system catalog the paper's prototype reads from
 /// PostgreSQL.
+///
+/// The table map is internally synchronized: lookups during execution can
+/// run concurrently with the temporary-table registration/drop the GBU
+/// strategy performs from parallel plan-subtree tasks. Table *contents*
+/// are immutable after creation (lazy index/statistics builds are guarded
+/// inside Table), and a table must not be dropped while another thread
+/// still executes against it — temporaries are private to the registering
+/// task until its region query finishes, so this holds by construction.
 class Catalog {
  public:
   Catalog() = default;
 
-  // Catalogs own large tables; moving is fine, copying is not.
+  // Catalogs own large tables; moving is fine, copying is not. Moves are
+  // written out by hand because std::mutex is immovable; they must not
+  // race with table access (only used while handing a freshly built
+  // catalog to a session/engine).
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  Catalog(Catalog&& other) noexcept;
+  Catalog& operator=(Catalog&& other) noexcept;
 
   /// Registers a table; fails if a table with the same name exists.
   Status AddTable(std::unique_ptr<Table> table);
@@ -48,6 +60,8 @@ class Catalog {
   size_t TotalRows() const;
 
  private:
+  // Guards `tables_` (the map only, not the tables it points to).
+  mutable std::mutex mu_;
   // Keyed by upper-cased name.
   std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
 };

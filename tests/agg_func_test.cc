@@ -1,5 +1,7 @@
 #include "prefs/agg_func.h"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -25,6 +27,43 @@ TEST(FSumTest, IdentityPassThrough) {
   EXPECT_EQ(f.Combine(ScoreConf::Identity(), x), x);
   EXPECT_EQ(f.Combine(x, ScoreConf::Identity()), x);
   EXPECT_TRUE(f.Combine(ScoreConf::Identity(), ScoreConf::Identity()).IsDefault());
+}
+
+TEST(FSumTest, ZeroConfidenceInputsCombineToIdentity) {
+  // Regression for the F_S division by the total confidence: a "known
+  // score backed by zero confidence" is unconstructible (Known normalizes
+  // it to the identity), and two zero-evidence inputs must combine to the
+  // identity rather than to 0/0 = NaN.
+  EXPECT_TRUE(ScoreConf::Known(0.7, 0.0).IsDefault());
+  EXPECT_TRUE(ScoreConf::Known(0.7, -1.0).IsDefault());
+  FSum f;
+  ScoreConf r =
+      f.Combine(ScoreConf::Known(0.3, 0.0), ScoreConf::Known(0.9, 0.0));
+  EXPECT_TRUE(r.IsDefault());
+  EXPECT_FALSE(std::isnan(r.score()));
+  EXPECT_FALSE(std::isnan(r.conf()));
+}
+
+TEST(FSumTest, CombineStaysFiniteOnDenormalConfidences) {
+  // The weighted average must stay finite even when confidences are
+  // denormal — far below any epsilon a caller might compare against — and
+  // when one operand carries essentially all the weight.
+  FSum f;
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  std::vector<ScoreConf> pairs = {
+      ScoreConf::Identity(),        ScoreConf::Known(0.0, tiny),
+      ScoreConf::Known(1.0, tiny),  ScoreConf::Known(0.5, 1e-308),
+      ScoreConf::Known(0.7, 0.0),   ScoreConf::Known(0.2, 1.0)};
+  for (const ScoreConf& a : pairs) {
+    for (const ScoreConf& b : pairs) {
+      ScoreConf r = f.Combine(a, b);
+      if (r.IsDefault()) continue;
+      EXPECT_TRUE(std::isfinite(r.score()))
+          << "F_S(" << a.ToString() << ", " << b.ToString() << ")";
+      EXPECT_TRUE(std::isfinite(r.conf()))
+          << "F_S(" << a.ToString() << ", " << b.ToString() << ")";
+    }
+  }
 }
 
 TEST(FMaxConfTest, HighestConfidenceWins) {

@@ -5,9 +5,15 @@
 // morsel knobs are shrunk so even the small test datasets split into many
 // morsels, forcing the parallel code paths on every query of the IMDB and
 // DBLP datagen workloads.
+//
+// Prefer-under-set-operation plans (only BU and GBU can evaluate them)
+// additionally exercise the concurrent-subtree paths: BU's binary-operator
+// children and GBU's per-prefer-subtree temp materializations run as
+// independent tasks when threads > 1.
 
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "datagen/dblp_gen.h"
@@ -32,68 +38,64 @@ void PrintTo(const QuerySpec& spec, std::ostream* os) {
   *os << spec.dataset << ":" << spec.name;
 }
 
+Session* SharedImdbSession() {
+  static Session* instance = [] {
+    ImdbOptions options;
+    options.scale = 0.0008;  // ≈ 1.3k movies.
+    options.seed = 7;
+    auto catalog = GenerateImdb(options);
+    EXPECT_TRUE(catalog.ok());
+    return new Session(std::move(*catalog));
+  }();
+  return instance;
+}
+
+Session* SharedDblpSession() {
+  static Session* instance = [] {
+    DblpOptions options;
+    options.scale = 0.002;  // ≈ 5.3k publications.
+    options.seed = 11;
+    auto catalog = GenerateDblp(options);
+    EXPECT_TRUE(catalog.ok());
+    return new Session(std::move(*catalog));
+  }();
+  return instance;
+}
+
+/// A context that forces morsel parallelism at test scale: tiny morsels,
+/// no serial fallback threshold.
+ParallelContext ForcedContext(size_t threads) {
+  ParallelContext ctx;
+  ctx.threads = threads;
+  ctx.morsel_size = 64;
+  ctx.min_parallel_rows = 64;
+  return ctx;
+}
+
 class ParallelEquivalenceTest : public ::testing::TestWithParam<QuerySpec> {
  protected:
-  static Session* ImdbSession() {
-    static Session* instance = [] {
-      ImdbOptions options;
-      options.scale = 0.0008;  // ≈ 1.3k movies.
-      options.seed = 7;
-      auto catalog = GenerateImdb(options);
-      EXPECT_TRUE(catalog.ok());
-      return new Session(std::move(*catalog));
-    }();
-    return instance;
-  }
-
-  static Session* DblpSession() {
-    static Session* instance = [] {
-      DblpOptions options;
-      options.scale = 0.002;  // ≈ 5.3k publications.
-      options.seed = 11;
-      auto catalog = GenerateDblp(options);
-      EXPECT_TRUE(catalog.ok());
-      return new Session(std::move(*catalog));
-    }();
-    return instance;
-  }
-
   Session* session() const {
-    return GetParam().dataset == "imdb" ? ImdbSession() : DblpSession();
+    return GetParam().dataset == "imdb" ? SharedImdbSession()
+                                        : SharedDblpSession();
   }
 
-  /// A context that forces morsel parallelism at test scale: tiny morsels,
-  /// no serial fallback threshold.
-  static ParallelContext Context(size_t threads) {
-    ParallelContext ctx;
-    ctx.threads = threads;
-    ctx.morsel_size = 64;
-    ctx.min_parallel_rows = 64;
-    return ctx;
-  }
-};
-
-TEST_P(ParallelEquivalenceTest, SameAnswerAtEveryThreadCount) {
-  const QuerySpec& spec = GetParam();
-  const StrategyKind kStrategies[] = {
-      StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
-      StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined};
-  const size_t kThreadCounts[] = {1, 2, 8};
-
-  for (StrategyKind kind : kStrategies) {
-    // Reference: the strategy's serial evaluation (threads = 1).
+  /// Runs `spec` under `kind` at threads ∈ {1, 2, 8} and checks every run
+  /// against the strategy's own serial answer: same schema, same rows and
+  /// scores (up to FP association), same counter totals (guaranteed by the
+  /// ordered join-point merges).
+  void CheckStrategyAcrossThreads(const QuerySpec& spec, StrategyKind kind) {
     QueryOptions reference;
     reference.strategy = kind;
-    reference.parallel = Context(1);
+    reference.parallel = ForcedContext(1);
     auto expected = session()->Query(spec.sql, reference);
     ASSERT_TRUE(expected.ok()) << StrategyKindName(kind) << " serial: "
                                << expected.status().ToString() << "\n"
                                << spec.sql;
 
-    for (size_t threads : kThreadCounts) {
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
       QueryOptions options;
       options.strategy = kind;
-      options.parallel = Context(threads);
+      options.parallel = ForcedContext(threads);
       auto actual = session()->Query(spec.sql, options);
       ASSERT_TRUE(actual.ok())
           << StrategyKindName(kind) << " threads=" << threads << ": "
@@ -111,6 +113,16 @@ TEST_P(ParallelEquivalenceTest, SameAnswerAtEveryThreadCount) {
       EXPECT_EQ(actual->stats.engine_queries, expected->stats.engine_queries)
           << StrategyKindName(kind) << " threads=" << threads;
     }
+  }
+};
+
+TEST_P(ParallelEquivalenceTest, SameAnswerAtEveryThreadCount) {
+  const QuerySpec& spec = GetParam();
+  const StrategyKind kStrategies[] = {
+      StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+      StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined};
+  for (StrategyKind kind : kStrategies) {
+    CheckStrategyAcrossThreads(spec, kind);
   }
 }
 
@@ -144,6 +156,150 @@ INSTANTIATE_TEST_SUITE_P(Workloads, ParallelEquivalenceTest,
                            }
                            return name;
                          });
+
+// ---------------------------------------------------------------------------
+// Prefer operators below set operations: the origin side of a result tuple
+// is not recoverable from the flat non-preference result, so FtP and the
+// plug-ins must refuse these plans, while BU and GBU evaluate them — and
+// at threads > 1 their set-operation children / prefer subtrees run
+// concurrently.
+
+class SetOpParallelEquivalenceTest : public ParallelEquivalenceTest {};
+
+TEST_P(SetOpParallelEquivalenceTest, ResultStrategiesRefuse) {
+  const QuerySpec& spec = GetParam();
+  const StrategyKind kResultStrategies[] = {StrategyKind::kFtP,
+                                            StrategyKind::kPlugInBasic,
+                                            StrategyKind::kPlugInCombined};
+  for (StrategyKind kind : kResultStrategies) {
+    QueryOptions options;
+    options.strategy = kind;
+    EXPECT_FALSE(session()->Query(spec.sql, options).ok())
+        << StrategyKindName(kind) << " should refuse prefer-under-set-op:\n"
+        << spec.sql;
+  }
+}
+
+TEST_P(SetOpParallelEquivalenceTest, PlanDrivenStrategiesSameAnswer) {
+  const QuerySpec& spec = GetParam();
+  for (StrategyKind kind : {StrategyKind::kBU, StrategyKind::kGBU}) {
+    CheckStrategyAcrossThreads(spec, kind);
+  }
+}
+
+std::vector<QuerySpec> SetOpQueries() {
+  return {
+      {"imdb", "UnionPrefs",
+       "SELECT title, year FROM MOVIES WHERE d_id <= 20 "
+       "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 "
+       "UNION "
+       "SELECT title, year FROM MOVIES WHERE year >= 2005 "
+       "PREFERRING (duration <= 120) SCORE 0.6 CONF 0.5 "
+       "RANKED"},
+      {"imdb", "IntersectPrefs",
+       "SELECT title, year FROM MOVIES WHERE year >= 2000 "
+       "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.8 "
+       "INTERSECT "
+       "SELECT title, year FROM MOVIES WHERE duration >= 100 "
+       "PREFERRING (duration BETWEEN 90 AND 150) SCORE around(duration, 120) "
+       "CONF 0.5 "
+       "RANKED"},
+      {"imdb", "ExceptPrefs",
+       "SELECT title, year FROM MOVIES WHERE year >= 2000 "
+       "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 "
+       "EXCEPT "
+       "SELECT title, year FROM MOVIES WHERE duration > 150 "
+       "RANKED"},
+      {"dblp", "UnionPrefs",
+       "SELECT title, year FROM PUBLICATIONS "
+       "JOIN CONFERENCES ON PUBLICATIONS.p_id = CONFERENCES.p_id "
+       "WHERE year >= 2005 "
+       "PREFERRING (year >= 2008) SCORE recency(year, 2011) CONF 0.9 "
+       "UNION "
+       "SELECT title, year FROM PUBLICATIONS "
+       "JOIN CONFERENCES ON PUBLICATIONS.p_id = CONFERENCES.p_id "
+       "WHERE location = 'Athens' "
+       "PREFERRING (name = 'Conference 1') SCORE 1.0 CONF 0.7 "
+       "RANKED"},
+  };
+}
+
+INSTANTIATE_TEST_SUITE_P(SetOps, SetOpParallelEquivalenceTest,
+                         ::testing::ValuesIn(SetOpQueries()),
+                         [](const ::testing::TestParamInfo<QuerySpec>& info) {
+                           return info.param.dataset + "_" + info.param.name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Concurrent GBU executions against one engine. Temp-table names come from
+// a process-wide atomic counter and every counter write is routed through a
+// caller-provided ExecStats, so independent executions — each with its own
+// strategy instance, as Session creates them — must neither collide in the
+// shared catalog nor corrupt each other's answers. (Before the counter was
+// process-wide, two concurrent executions both produced "__gbu_tmp_1".)
+
+TEST(ConcurrentGbuTest, ConcurrentExecutionsDoNotCollideOnTempTables) {
+  Session* session = SharedImdbSession();
+  Engine& engine = session->engine();
+  // A set-operation query with prefers on both sides: GBU materializes two
+  // temp tables per execution.
+  const std::string sql =
+      "SELECT title, year FROM MOVIES WHERE d_id <= 20 "
+      "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 "
+      "UNION "
+      "SELECT title, year FROM MOVIES WHERE year >= 2005 "
+      "PREFERRING (duration <= 120) SCORE 0.6 CONF 0.5 "
+      "RANKED";
+  auto parsed = ParseQuery(sql, engine.catalog());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto agg = GetAggregateFunction("wsum");
+  ASSERT_TRUE(agg.ok());
+
+  // Strategies executed directly (below Session) share the engine's
+  // parallel context; keep it serial so the only concurrency under test is
+  // the cross-execution kind.
+  engine.set_parallel_context(ParallelContext{});
+
+  std::unique_ptr<Strategy> reference_strategy = MakeStrategy(StrategyKind::kGBU);
+  ExecStats reference_stats;
+  auto reference = reference_strategy->ExecuteWithStats(
+      *parsed->plan, **agg, &engine, &reference_stats);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 3;
+  std::vector<StatusOr<PRelation>> results(kThreads,
+                                           Status::Internal("not run"));
+  std::vector<ExecStats> stats(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      std::unique_ptr<Strategy> strategy = MakeStrategy(StrategyKind::kGBU);
+      for (int round = 0; round < kRounds; ++round) {
+        results[t] = strategy->ExecuteWithStats(*parsed->plan, **agg, &engine,
+                                                &stats[t]);
+        if (!results[t].ok()) return;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(results[t].ok())
+        << "thread " << t << ": " << results[t].status().ToString();
+    ExpectSameRows(results[t]->rel, reference->rel, 1e-9);
+    EXPECT_EQ(stats[t].engine_queries, kRounds * reference_stats.engine_queries)
+        << "thread " << t;
+    EXPECT_EQ(stats[t].score_entries_written,
+              kRounds * reference_stats.score_entries_written)
+        << "thread " << t;
+  }
+  // No temp leaked into the shared catalog.
+  for (const std::string& name : engine.catalog().TableNames()) {
+    EXPECT_EQ(name.find("__gbu_tmp"), std::string::npos) << name;
+  }
+}
 
 }  // namespace
 }  // namespace prefdb

@@ -54,20 +54,48 @@ TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
   EXPECT_EQ(counter.load(), 200);
 }
 
-TEST(ThreadPoolTest, TasksRunOnPoolThreads) {
+TEST(ThreadPoolTest, WaitHelpsRunQueuedTasks) {
+  // The helping join: a thread blocked in Wait() drains queued pool tasks
+  // instead of sleeping, so group tasks may legitimately run on the waiting
+  // thread as well as on pool threads. Every task still runs exactly once.
   ThreadPool pool(2);
   std::set<std::thread::id> ids;
   std::mutex mu;
+  std::atomic<int> ran{0};
   TaskGroup group(&pool);
   for (int i = 0; i < 64; ++i) {
     group.Run([&] {
-      std::lock_guard<std::mutex> lock(mu);
-      ids.insert(std::this_thread::get_id());
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      }
+      ran.fetch_add(1);
     });
   }
   group.Wait();
+  EXPECT_EQ(ran.load(), 64);
   EXPECT_GE(ids.size(), 1u);
-  EXPECT_EQ(ids.count(std::this_thread::get_id()), 0u);
+}
+
+TEST(ThreadPoolTest, NestedForkJoinDoesNotDeadlock) {
+  // With a single worker, outer tasks blocked in an inner Wait() would
+  // starve their queued inner tasks forever if waiting threads only
+  // slept — the helping join is what lets nested fork/join (BU subtree
+  // evaluation spawning morsel loops) complete.
+  ThreadPool pool(1);
+  std::atomic<int> inner_ran{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Run([&] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.Run([&] { inner_ran.fetch_add(1); });
+      }
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(inner_ran.load(), 32);
 }
 
 TEST(ThreadPoolTest, ExceptionPropagatesThroughTaskGroup) {
