@@ -34,7 +34,7 @@ std::vector<size_t> ThreadSweep() {
 }
 
 void RunThreadSweep(Session* session, const std::string& sql,
-                    const std::string& workload_name, int repetitions) {
+                    const std::string& workload_name, const BenchEnv& env) {
   std::vector<size_t> sweep = ThreadSweep();
   std::printf(
       "\nThread-count sweep (%s at the largest scale; morsel-driven "
@@ -44,27 +44,43 @@ void RunThreadSweep(Session* session, const std::string& sql,
   for (size_t t : sweep) header.push_back(StrFormat("%zu thr ms", t));
   PrintTableHeader(header);
 
-  FILE* json = std::fopen("BENCH_parallel.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "warning: cannot open BENCH_parallel.json\n");
-  }
+  ParallelContext defaults;
+  FILE* json =
+      OpenBenchJson("BENCH_parallel.json", "parallel", env, defaults.morsel_size);
   for (StrategyKind kind : AllStrategies()) {
     std::vector<std::string> row = {std::string(StrategyKindName(kind))};
     for (size_t threads : sweep) {
       QueryOptions options;
       options.strategy = kind;
       options.parallel.threads = threads;
-      Measurement m = MeasureQuery(session, sql, options, repetitions);
+      Measurement m = MeasureQuery(session, sql, options, env.repetitions);
       row.push_back(FormatMillis(m.millis));
       if (json != nullptr) {
         std::fprintf(json,
                      "{\"bench\": \"parallel\", \"workload\": \"%s\", "
                      "\"strategy\": \"%s\", \"threads\": %zu, "
-                     "\"wall_ms\": %.3f, \"tuples_materialized\": %zu}\n",
+                     "\"morsel_size\": %zu, %s, "
+                     "\"tuples_materialized\": %zu}\n",
                      workload_name.c_str(),
                      std::string(StrategyKindName(kind)).c_str(), threads,
-                     m.millis, m.stats.tuples_materialized);
+                     options.parallel.morsel_size,
+                     MeasurementJsonFields(m).c_str(),
+                     m.stats.tuples_materialized);
       }
+    }
+    // One traced run per strategy at each end of the sweep: the per-phase
+    // breakdown (span tree with timings) behind the row above.
+    for (size_t threads : {sweep.front(), sweep.back()}) {
+      QueryOptions options;
+      options.strategy = kind;
+      options.parallel.threads = threads;
+      AppendTraceJson(
+          json, "parallel",
+          StrFormat("\"workload\": \"%s\", \"strategy\": \"%s\", "
+                    "\"threads\": %zu",
+                    workload_name.c_str(),
+                    std::string(StrategyKindName(kind)).c_str(), threads),
+          session, sql, options);
     }
     PrintTableRow(row);
   }
@@ -125,7 +141,7 @@ int Main() {
     return 1;
   }
   Session session(std::move(*catalog));
-  RunThreadSweep(&session, sql, "IMDB-1", env.repetitions);
+  RunThreadSweep(&session, sql, "IMDB-1", env);
   std::printf(
       "\nExpected shape: FtP and the plug-ins, whose cost is dominated by "
       "the post-filter prefer sweep over the materialized result, speed up "

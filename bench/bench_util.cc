@@ -1,8 +1,10 @@
 #include "bench_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "common/string_util.h"
 
@@ -39,7 +41,58 @@ Measurement MeasureQuery(Session* session, const std::string& sql,
   }
   std::sort(runs.begin(), runs.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  return runs[runs.size() / 2].second;
+  // Nearest-rank percentiles over the sorted repetitions; the reported
+  // measurement is the median run, annotated with the distribution.
+  size_t n = runs.size();
+  auto rank = [n](double q) {
+    size_t r = static_cast<size_t>(std::ceil(q * static_cast<double>(n)));
+    return std::min(n - 1, r > 0 ? r - 1 : 0);
+  };
+  Measurement m = runs[n / 2].second;
+  m.p50_ms = m.millis;
+  m.p95_ms = runs[rank(0.95)].first;
+  m.max_ms = runs[n - 1].first;
+  return m;
+}
+
+std::FILE* OpenBenchJson(const std::string& path, const std::string& bench,
+                         const BenchEnv& env, size_t morsel_size) {
+  std::FILE* json = std::fopen(path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s\n", path.c_str());
+    return nullptr;
+  }
+  std::fprintf(json,
+               "{\"bench\": \"%s\", \"meta\": {\"sf\": %g, \"reps\": %d, "
+               "\"morsel_size\": %zu, \"hardware_concurrency\": %u}}\n",
+               bench.c_str(), env.sf, env.repetitions, morsel_size,
+               std::thread::hardware_concurrency());
+  return json;
+}
+
+std::string MeasurementJsonFields(const Measurement& m) {
+  return StrFormat(
+      "\"wall_ms\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
+      "\"max_ms\": %.3f",
+      m.millis, m.p50_ms, m.p95_ms, m.max_ms);
+}
+
+void AppendTraceJson(std::FILE* json, const std::string& bench,
+                     const std::string& extra_fields, Session* session,
+                     const std::string& sql, QueryOptions options) {
+  if (json == nullptr) return;
+  options.trace = true;
+  auto result = session->Query(sql, options);
+  if (!result.ok() || result->trace == nullptr) {
+    std::fprintf(stderr, "warning: trace run failed: %s\n",
+                 result.ok() ? "no trace collected"
+                             : result.status().ToString().c_str());
+    return;
+  }
+  std::fprintf(json, "{\"bench\": \"%s_trace\", %s%s\"trace\": %s}\n",
+               bench.c_str(), extra_fields.c_str(),
+               extra_fields.empty() ? "" : ", ",
+               result->trace->ToJson().c_str());
 }
 
 std::vector<StrategyKind> EvaluationStrategies() {

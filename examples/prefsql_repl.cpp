@@ -122,6 +122,9 @@ int main(int argc, char** argv) {
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
     } else {
+      if (!result->explain_analyze.empty()) {
+        std::printf("%s", result->explain_analyze.c_str());
+      }
       std::printf("%s", result->relation.ToString(20).c_str());
       std::printf("[%s] %.2f ms | %s\nplan:\n%s\n",
                   std::string(StrategyKindName(options.strategy)).c_str(),

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# One-command verification gate: the tier-1 build + full test suite,
+# chained with the ThreadSanitizer pass over the parallel-labeled tests
+# (scripts/run_tsan.sh). This is what a PR must keep green.
+#
+# Usage:  scripts/run_checks.sh [--no-tsan]
+#   --no-tsan   skip the sanitizer pass (fast local iteration)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUN_TSAN=1
+if [ "${1:-}" = "--no-tsan" ]; then
+  RUN_TSAN=0
+fi
+
+echo "== tier-1: configure + build =="
+cmake -B build -S .
+cmake --build build -j
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [ "$RUN_TSAN" -eq 1 ]; then
+  echo "== tsan: parallel-labeled tests =="
+  scripts/run_tsan.sh
+fi
+
+echo "All checks passed."

@@ -17,7 +17,7 @@ if [ "$#" -ge 1 ]; then shift; fi
 cmake -B "$BUILD_DIR" -S . -DPREFDB_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
-  thread_pool_test parallel_equivalence_test
+  thread_pool_test parallel_equivalence_test obs_test
 
 # halt_on_error: fail fast on the first report instead of drowning it in
 # follow-on races; second_deadlock_stack: full stacks for lock inversions.

@@ -32,6 +32,10 @@ std::string_view StripWhitespace(std::string_view s);
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
 }  // namespace prefdb
 
 #endif  // PREFDB_COMMON_STRING_UTIL_H_

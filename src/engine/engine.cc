@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "common/stopwatch.h"
 #include "engine/executor.h"
 #include "engine/native_optimizer.h"
 
@@ -11,12 +12,24 @@ StatusOr<Relation> Engine::Execute(const PlanNode& query) {
 
 StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
                                              ExecStats* stats) {
+  // The registry instruments here (and not per-caller) so that every
+  // delegated query — serial or issued from a pool task — lands in the
+  // same thread-safe counters; the per-task ExecStats keeps carrying the
+  // race-free per-query deltas as before.
+  Stopwatch watch;
   ++stats->engine_queries;
-  if (!native_optimizer_enabled_) {
-    return ExecutePlan(query, &catalog_, stats);
-  }
-  ASSIGN_OR_RETURN(NativeOptimizerResult optimized, NativeOptimize(query, catalog_));
-  return ExecutePlan(*optimized.plan, &catalog_, stats);
+  query_count_->Increment();
+  auto run = [&]() -> StatusOr<Relation> {
+    if (!native_optimizer_enabled_) {
+      return ExecutePlan(query, &catalog_, stats);
+    }
+    ASSIGN_OR_RETURN(NativeOptimizerResult optimized,
+                     NativeOptimize(query, catalog_));
+    return ExecutePlan(*optimized.plan, &catalog_, stats);
+  };
+  StatusOr<Relation> result = run();
+  query_micros_->Record(watch.ElapsedMicros());
+  return result;
 }
 
 StatusOr<Relation> Engine::ExecuteUnoptimized(const PlanNode& query) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "engine/exec_stats.h"
+#include "obs/metrics.h"
 #include "parallel/parallel_context.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
@@ -21,7 +22,10 @@ namespace prefdb {
 /// what makes the implementation "hybrid" rather than native.
 class Engine {
  public:
-  explicit Engine(Catalog catalog) : catalog_(std::move(catalog)) {}
+  explicit Engine(Catalog catalog)
+      : catalog_(std::move(catalog)),
+        query_count_(metrics_.counter("engine.queries")),
+        query_micros_(metrics_.histogram("engine.query_micros")) {}
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -64,6 +68,14 @@ class Engine {
   ExecStats* mutable_stats() { return &stats_; }
   void ResetStats() { stats_.Reset(); }
 
+  /// Per-engine metrics: named counters and latency histograms that
+  /// accumulate across every query (thread-safe; unlike the ExecStats
+  /// block, which belongs to exactly one task at a time). The Session
+  /// folds its per-query ExecStats deltas in here too, so this registry is
+  /// the one cumulative view of a database instance.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   /// Toggles the native optimizer (default on).
   void set_native_optimizer_enabled(bool enabled) {
     native_optimizer_enabled_ = enabled;
@@ -79,6 +91,9 @@ class Engine {
  private:
   Catalog catalog_;
   ExecStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* query_count_;     // "engine.queries"
+  obs::Histogram* query_micros_;  // "engine.query_micros"
   bool native_optimizer_enabled_ = true;
   ParallelContext parallel_;
 };

@@ -50,10 +50,68 @@ StatusOr<QueryResult> Session::QueryPersonalized(std::string_view prefsql,
 
 StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
                                    const QueryOptions& options) {
+  last_failure_.reset();
   Stopwatch watch;
-  ExecStats before = engine_.stats();
   engine_.set_parallel_context(options.parallel);
 
+  bool tracing = options.trace || parsed.explain_analyze;
+  obs::SpanPtr root = tracing ? obs::Span::Detached("Query") : nullptr;
+  std::unique_ptr<Strategy> strategy = MakeStrategy(options.strategy);
+
+  // The query executes into a local ExecStats (merged into the engine's
+  // cumulative counters below), replacing the old before/after subtraction
+  // of the engine counters — which was both racy under concurrent sessions
+  // and blind on the error path.
+  ExecStats stats;
+  StatusOr<QueryResult> outcome =
+      RunInternal(parsed, options, strategy.get(), &stats, root.get());
+  double millis = watch.ElapsedMillis();
+
+  engine_.mutable_stats()->Merge(stats);
+  // Fold the per-query deltas into the engine's cumulative metrics registry
+  // (counters are thread-safe; the hot paths above only touched `stats`).
+  obs::MetricsRegistry& metrics = engine_.metrics();
+  metrics.counter("session.queries")->Increment();
+  metrics.histogram("session.query_micros")->Record(millis * 1000.0);
+  metrics.counter("exec.tuples_materialized")
+      ->Increment(stats.tuples_materialized);
+  metrics.counter("exec.rows_scanned")->Increment(stats.rows_scanned);
+  metrics.counter("exec.operator_invocations")
+      ->Increment(stats.operator_invocations);
+  metrics.counter("exec.score_entries_written")
+      ->Increment(stats.score_entries_written);
+
+  if (!outcome.ok()) {
+    // A failed query used to discard its Stopwatch and partial counters;
+    // keep them on the session so callers can attribute the wasted work.
+    metrics.counter("session.query_failures")->Increment();
+    FailureReport report;
+    report.strategy = std::string(strategy->name());
+    report.message = outcome.status().message();
+    report.millis = millis;
+    report.stats = stats;
+    last_failure_ = std::move(report);
+    return outcome.status();
+  }
+
+  QueryResult result = std::move(*outcome);
+  result.millis = millis;
+  result.stats = stats;
+  if (root != nullptr) {
+    root->micros = millis * 1000.0;
+    root->rows_out = result.relation.NumRows();
+    if (parsed.explain_analyze) {
+      result.explain_analyze = root->ToString();
+    }
+    result.trace = std::move(root);
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Session::RunInternal(const ParsedQuery& parsed,
+                                           const QueryOptions& options,
+                                           Strategy* strategy, ExecStats* stats,
+                                           obs::Span* root) {
   const PlanNode* plan = parsed.plan.get();
   PlanPtr optimized;
   // FtP and the plug-ins rebuild their own query from the plan's prefer
@@ -62,36 +120,29 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
   bool plan_driven = options.strategy == StrategyKind::kBU ||
                      options.strategy == StrategyKind::kGBU;
   if (options.optimize && plan_driven) {
+    obs::SpanScope opt_scope(root, "ExtendedOptimize");
     ExtendedOptimizer optimizer(&engine_, options.optimizer);
     ASSIGN_OR_RETURN(optimized, optimizer.Optimize(*parsed.plan));
     plan = optimized.get();
   }
 
-  std::unique_ptr<Strategy> strategy = MakeStrategy(options.strategy);
   const AggregateFunction* agg = parsed.agg;
   if (agg == nullptr) {
     ASSIGN_OR_RETURN(agg, GetAggregateFunction("wsum"));
   }
-  ASSIGN_OR_RETURN(PRelation evaluated, strategy->Execute(*plan, *agg, &engine_));
+  ASSIGN_OR_RETURN(PRelation evaluated,
+                   strategy->ExecuteWithStats(*plan, *agg, &engine_, stats, root));
 
+  obs::SpanScope filter_scope(root, "FilterAndProject");
+  obs::SetRowsIn(filter_scope.get(), evaluated.NumRows());
   ASSIGN_OR_RETURN(Relation filtered, ApplyFilters(evaluated, parsed.filters));
   ASSIGN_OR_RETURN(Relation final_rel,
                    FinalProjection(std::move(filtered), parsed.output_columns));
+  obs::SetRowsOut(filter_scope.get(), final_rel.NumRows());
 
   QueryResult result;
   result.relation = std::move(final_rel);
-  result.millis = watch.ElapsedMillis();
   result.executed_plan = plan->ToString();
-  // Per-query stats: cumulative engine counters minus the starting point.
-  ExecStats after = engine_.stats();
-  result.stats.tuples_materialized =
-      after.tuples_materialized - before.tuples_materialized;
-  result.stats.rows_scanned = after.rows_scanned - before.rows_scanned;
-  result.stats.engine_queries = after.engine_queries - before.engine_queries;
-  result.stats.operator_invocations =
-      after.operator_invocations - before.operator_invocations;
-  result.stats.score_entries_written =
-      after.score_entries_written - before.score_entries_written;
   return result;
 }
 

@@ -1,10 +1,13 @@
 #ifndef PREFDB_EXEC_RUNNER_H_
 #define PREFDB_EXEC_RUNNER_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "exec/strategy.h"
+#include "obs/trace.h"
 #include "optimizer/extended_optimizer.h"
 #include "parallel/parallel_context.h"
 #include "parser/parser.h"
@@ -25,6 +28,11 @@ struct QueryOptions {
   /// pre-parallel builds; every strategy produces the same p-relation at
   /// any thread count (modulo row order / FP association).
   ParallelContext parallel;
+  /// Collect a hierarchical span trace of the execution (QueryResult::trace).
+  /// Off by default: the strategies then see a null span and pay one pointer
+  /// test per annotation site. An `EXPLAIN ANALYZE` query prefix forces
+  /// tracing on regardless of this flag.
+  bool trace = false;
 };
 
 /// The answer of a preferential query plus its execution telemetry.
@@ -38,6 +46,13 @@ struct QueryResult {
   double millis = 0.0;
   /// The plan that was executed (after extended optimization), printable.
   std::string executed_plan;
+  /// The span tree of this execution when tracing was requested
+  /// (QueryOptions::trace or EXPLAIN ANALYZE), else null. Shared so results
+  /// stay copyable; the tree is immutable once the query returns.
+  std::shared_ptr<const obs::Span> trace;
+  /// Rendered span tree (with timings) for an EXPLAIN ANALYZE query; empty
+  /// otherwise.
+  std::string explain_analyze;
 };
 
 /// A database session: owns the engine (catalog + native optimizer +
@@ -72,8 +87,29 @@ class Session {
   Engine& engine() { return engine_; }
   const Engine& engine() const { return engine_; }
 
+  /// Telemetry of the most recent failed Run() on this session: the error,
+  /// the strategy, the wall time until the failure and the stats of the
+  /// partial execution. Queries used to discard all of this on the error
+  /// path; benches and tests use it to attribute the cost of failures.
+  /// Reset (to nullopt) by every Run(); set only when that Run() fails.
+  struct FailureReport {
+    std::string strategy;
+    std::string message;
+    double millis = 0.0;
+    ExecStats stats;
+  };
+  const std::optional<FailureReport>& last_failure() const {
+    return last_failure_;
+  }
+
  private:
+  StatusOr<QueryResult> RunInternal(const ParsedQuery& parsed,
+                                    const QueryOptions& options,
+                                    Strategy* strategy, ExecStats* stats,
+                                    obs::Span* root);
+
   Engine engine_;
+  std::optional<FailureReport> last_failure_;
 };
 
 }  // namespace prefdb

@@ -32,6 +32,66 @@ std::string_view StrategyKindName(StrategyKind kind) {
 
 namespace {
 
+// Span label for one plan node, e.g. "Scan[MOVIES]" or "Prefer[p1]".
+std::string NodeLabel(const PlanNode& node) {
+  switch (node.kind) {
+    case PlanKind::kScan:
+      return StrFormat("Scan[%s]", node.table_name.c_str());
+    case PlanKind::kPrefer:
+      return StrFormat("Prefer[%s]", node.preference->name().c_str());
+    default:
+      return std::string(PlanKindName(node.kind));
+  }
+}
+
+// Attributes the score-relation writes of one traced region to its span:
+// snapshots the counter on entry and records the delta on destruction.
+// Exact even under morsel parallelism, because the region's operators merge
+// their per-task partials into `stats` before returning. No-op (not even a
+// snapshot) when the span is null.
+class ScoreWriteScope {
+ public:
+  ScoreWriteScope(obs::Span* span, const ExecStats* stats)
+      : span_(span),
+        stats_(stats),
+        before_(span != nullptr ? stats->score_entries_written : 0) {}
+
+  ScoreWriteScope(const ScoreWriteScope&) = delete;
+  ScoreWriteScope& operator=(const ScoreWriteScope&) = delete;
+
+  ~ScoreWriteScope() {
+    if (span_ != nullptr) {
+      span_->score_entries = stats_->score_entries_written - before_;
+    }
+  }
+
+ private:
+  obs::Span* span_;
+  const ExecStats* stats_;
+  size_t before_;
+};
+
+// Allocates one detached holder span per parallel task when tracing is on
+// (all-null otherwise). Each task builds its subtree under its own holder;
+// AdoptTaskSpans splices the holders' children into `span` in task order at
+// the join point — the trace-side mirror of the ExecStats merge discipline,
+// and what keeps parallel traces deterministic for a fixed context.
+std::vector<obs::SpanPtr> MakeTaskSpans(obs::Span* span, size_t count) {
+  std::vector<obs::SpanPtr> holders(count);
+  if (span != nullptr) {
+    for (size_t i = 0; i < count; ++i) holders[i] = obs::Span::Detached("task");
+  }
+  return holders;
+}
+
+void AdoptTaskSpans(obs::Span* span, std::vector<obs::SpanPtr>* holders) {
+  if (span == nullptr) return;
+  for (obs::SpanPtr& holder : *holders) {
+    if (holder == nullptr) continue;
+    for (obs::SpanPtr& child : holder->children) span->Adopt(std::move(child));
+  }
+}
+
 // True if any prefer operator occurs strictly below a set operation — the
 // situation where the origin side of a result tuple is no longer
 // distinguishable in the flat result of the non-preference query, so the
@@ -63,15 +123,18 @@ bool HasPreferUnderSetOp(const PlanNode& node, bool under_setop = false) {
 StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs,
                                          Relation result,
                                          const AggregateFunction& agg,
-                                         Engine* engine, ExecStats* stats) {
+                                         Engine* engine, ExecStats* stats,
+                                         obs::Span* span = nullptr) {
   // Each prefer pass is itself morsel-parallel over the materialized result
   // (the post-filter sweep of FtP); successive preferences stay ordered so
   // the fold into the score relation is deterministic.
   PRelation current(std::move(result));
   for (const PreferencePtr& pref : prefs) {
+    obs::SpanScope scope(span, StrFormat("Prefer[%s]", pref->name().c_str()));
+    ScoreWriteScope scores(scope.get(), stats);
     ASSIGN_OR_RETURN(current,
                      EvalPrefer(*pref, current, agg, &engine->catalog(), stats,
-                                &engine->parallel_context()));
+                                &engine->parallel_context(), scope.get()));
   }
   return current;
 }
@@ -82,15 +145,25 @@ StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs
 // plans from a shared cursor), each executing into its own ExecStats; the
 // per-task stats are merged into `stats` in plan order at the join point,
 // so counter totals match serial execution.
+//
+// With a non-null `span`, each query gets a child span named by `labels`
+// (parallel queries build theirs detached, adopted in plan order at the
+// join — same discipline as the stats merge).
 StatusOr<std::vector<Relation>> ExecuteEngineQueries(
     const std::vector<const PlanNode*>& plans, Engine* engine,
-    ExecStats* stats) {
+    ExecStats* stats, obs::Span* span = nullptr,
+    const std::vector<std::string>* labels = nullptr) {
+  auto label = [labels](size_t i) -> std::string {
+    return labels != nullptr ? (*labels)[i] : "EngineQuery";
+  };
   std::vector<Relation> results;
   results.reserve(plans.size());
   const ParallelContext& ctx = engine->parallel_context();
   if (ctx.IsSerial() || plans.size() < 2) {
-    for (const PlanNode* plan : plans) {
-      ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*plan, stats));
+    for (size_t i = 0; i < plans.size(); ++i) {
+      obs::SpanScope scope(span, label(i));
+      ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*plans[i], stats));
+      obs::SetRowsOut(scope.get(), rel.NumRows());
       results.push_back(std::move(rel));
     }
     return results;
@@ -98,16 +171,23 @@ StatusOr<std::vector<Relation>> ExecuteEngineQueries(
 
   std::vector<std::optional<StatusOr<Relation>>> partials(plans.size());
   std::vector<ExecStats> partial_stats(plans.size());
+  std::vector<obs::SpanPtr> holders = MakeTaskSpans(span, plans.size());
   std::vector<std::function<void()>> tasks;
   tasks.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    tasks.push_back([&partials, &partial_stats, &plans, engine, i] {
-      partials[i] = engine->ExecuteConcurrent(*plans[i], &partial_stats[i]);
-    });
+    tasks.push_back(
+        [&partials, &partial_stats, &plans, &holders, &label, engine, i] {
+          obs::SpanScope scope(holders[i].get(), label(i));
+          partials[i] = engine->ExecuteConcurrent(*plans[i], &partial_stats[i]);
+          if (partials[i]->ok()) {
+            obs::SetRowsOut(scope.get(), (*partials[i])->NumRows());
+          }
+        });
   }
   ParallelInvoke(ctx, tasks);
 
   stats->MergeAll(partial_stats);
+  AdoptTaskSpans(span, &holders);
   for (std::optional<StatusOr<Relation>>& partial : partials) {
     RETURN_IF_ERROR(partial->status());
     results.push_back(std::move(**partial));
@@ -124,20 +204,30 @@ class FtPStrategy final : public Strategy {
 
   StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
                                        const AggregateFunction& agg,
-                                       Engine* engine,
-                                       ExecStats* stats) override {
+                                       Engine* engine, ExecStats* stats,
+                                       obs::Span* span) override {
     if (HasPreferUnderSetOp(plan)) {
       return Status::Unimplemented(
           "FtP cannot evaluate prefer operators below set operations; "
           "use BU or GBU");
     }
+    obs::SpanScope strategy_scope(span, "strategy[FtP]");
+    obs::Span* s = strategy_scope.get();
     // Extract and run the non-preference part Q_NP. The parser already
     // projected every attribute the prefer operators need, so they can be
     // evaluated directly on R_NP.
     PlanPtr q_np = StripPrefers(plan);
+    obs::SpanScope q_scope(s, "EngineQuery[Q_NP]");
     ASSIGN_OR_RETURN(Relation r_np, engine->ExecuteConcurrent(*q_np, stats));
+    size_t np_rows = r_np.NumRows();
+    obs::SetRowsOut(q_scope.get(), np_rows);
+    q_scope.Finish();
     std::vector<PreferencePtr> prefs = CollectPrefers(plan);
-    return ApplyPrefersOnResult(prefs, std::move(r_np), agg, engine, stats);
+    obs::SpanScope sweep(s, "PostFilterSweep");
+    obs::SetRowsIn(sweep.get(), np_rows);
+    ScoreWriteScope scores(sweep.get(), stats);
+    return ApplyPrefersOnResult(prefs, std::move(r_np), agg, engine, stats,
+                                sweep.get());
   }
 };
 
@@ -150,9 +240,10 @@ class BUStrategy final : public Strategy {
 
   StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
                                        const AggregateFunction& agg,
-                                       Engine* engine,
-                                       ExecStats* stats) override {
-    return Eval(plan, agg, engine, stats);
+                                       Engine* engine, ExecStats* stats,
+                                       obs::Span* span) override {
+    obs::SpanScope scope(span, "strategy[BU]");
+    return Eval(plan, agg, engine, stats, scope.get());
   }
 
  private:
@@ -164,88 +255,121 @@ class BUStrategy final : public Strategy {
   // partials are merged into `stats` in plan order (left, then right) at
   // the join point, so counter totals are identical to serial evaluation.
   // Errors also surface in plan order: a left failure wins over a right
-  // one, exactly as serial short-circuiting reports it.
+  // one, exactly as serial short-circuiting reports it. Task spans follow
+  // the same discipline: built detached, adopted left-then-right.
   StatusOr<std::pair<PRelation, PRelation>> EvalChildren(
       const PlanNode& node, const AggregateFunction& agg, Engine* engine,
-      ExecStats* stats) {
+      ExecStats* stats, obs::Span* span) {
     const ParallelContext& ctx = engine->parallel_context();
     if (ctx.IsSerial()) {
-      ASSIGN_OR_RETURN(PRelation left, Eval(node.child(0), agg, engine, stats));
-      ASSIGN_OR_RETURN(PRelation right, Eval(node.child(1), agg, engine, stats));
+      ASSIGN_OR_RETURN(PRelation left,
+                       Eval(node.child(0), agg, engine, stats, span));
+      ASSIGN_OR_RETURN(PRelation right,
+                       Eval(node.child(1), agg, engine, stats, span));
       return std::make_pair(std::move(left), std::move(right));
     }
     std::optional<StatusOr<PRelation>> results[2];
     ExecStats partial_stats[2];
+    std::vector<obs::SpanPtr> holders = MakeTaskSpans(span, 2);
     std::vector<std::function<void()>> tasks;
     for (size_t i = 0; i < 2; ++i) {
-      tasks.push_back([this, &node, &agg, engine, &results, &partial_stats, i] {
-        results[i] = Eval(node.child(i), agg, engine, &partial_stats[i]);
-      });
+      tasks.push_back(
+          [this, &node, &agg, engine, &results, &partial_stats, &holders, i] {
+            results[i] = Eval(node.child(i), agg, engine, &partial_stats[i],
+                              holders[i].get());
+          });
     }
     ParallelInvoke(ctx, tasks);
     stats->Merge(partial_stats[0]);
     stats->Merge(partial_stats[1]);
+    AdoptTaskSpans(span, &holders);
     RETURN_IF_ERROR(results[0]->status());
     RETURN_IF_ERROR(results[1]->status());
     return std::make_pair(std::move(**results[0]), std::move(**results[1]));
   }
 
+  // Opens one span per plan node (inclusive of its children's evaluation)
+  // and attributes the node's score-relation writes to it, then dispatches
+  // to the per-operator evaluation.
   StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
-                           Engine* engine, ExecStats* stats) {
+                           Engine* engine, ExecStats* stats,
+                           obs::Span* parent) {
+    obs::SpanScope scope(parent, NodeLabel(node));
+    ScoreWriteScope scores(scope.get(), stats);
+    return EvalNode(node, agg, engine, stats, scope.get());
+  }
+
+  StatusOr<PRelation> EvalNode(const PlanNode& node,
+                               const AggregateFunction& agg, Engine* engine,
+                               ExecStats* stats, obs::Span* span) {
     const ParallelContext* parallel = &engine->parallel_context();
     switch (node.kind) {
       case PlanKind::kScan: {
         // Base access goes through the engine (one trivial query), like the
         // prototype's UDFs reading base relations from the DBMS.
         ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(node, stats));
+        obs::SetRowsOut(span, rel.NumRows());
         return PRelation(std::move(rel));
       }
       case PlanKind::kSelect: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
-        return PSelect(*node.predicate, input, stats, parallel);
+        ASSIGN_OR_RETURN(PRelation input,
+                         Eval(node.child(), agg, engine, stats, span));
+        return PSelect(*node.predicate, input, stats, parallel, span);
       }
       case PlanKind::kProject: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
-        return PProject(node.project_columns, input, stats);
+        ASSIGN_OR_RETURN(PRelation input,
+                         Eval(node.child(), agg, engine, stats, span));
+        return PProject(node.project_columns, input, stats, span);
       }
       case PlanKind::kJoin: {
-        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        ASSIGN_OR_RETURN(auto children,
+                         EvalChildren(node, agg, engine, stats, span));
         return PJoin(*node.predicate, children.first, children.second, agg,
-                     stats, parallel);
+                     stats, parallel, span);
       }
       case PlanKind::kSemiJoin: {
-        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
+        ASSIGN_OR_RETURN(auto children,
+                         EvalChildren(node, agg, engine, stats, span));
         return PSemiJoin(*node.predicate, children.first, children.second,
-                         stats, parallel);
+                         stats, parallel, span);
       }
       case PlanKind::kUnion: {
-        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
-        return PUnion(children.first, children.second, agg, stats, parallel);
+        ASSIGN_OR_RETURN(auto children,
+                         EvalChildren(node, agg, engine, stats, span));
+        return PUnion(children.first, children.second, agg, stats, parallel,
+                      span);
       }
       case PlanKind::kIntersect: {
-        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
-        return PIntersect(children.first, children.second, agg, stats, parallel);
+        ASSIGN_OR_RETURN(auto children,
+                         EvalChildren(node, agg, engine, stats, span));
+        return PIntersect(children.first, children.second, agg, stats, parallel,
+                          span);
       }
       case PlanKind::kExcept: {
-        ASSIGN_OR_RETURN(auto children, EvalChildren(node, agg, engine, stats));
-        return PDiff(children.first, children.second, stats, parallel);
+        ASSIGN_OR_RETURN(auto children,
+                         EvalChildren(node, agg, engine, stats, span));
+        return PDiff(children.first, children.second, stats, parallel, span);
       }
       case PlanKind::kDistinct: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
-        return PDistinct(input, stats);
+        ASSIGN_OR_RETURN(PRelation input,
+                         Eval(node.child(), agg, engine, stats, span));
+        return PDistinct(input, stats, span);
       }
       case PlanKind::kSort: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
-        return PSort(node.sort_keys, input, stats);
+        ASSIGN_OR_RETURN(PRelation input,
+                         Eval(node.child(), agg, engine, stats, span));
+        return PSort(node.sort_keys, input, stats, span);
       }
       case PlanKind::kLimit: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
-        return PLimit(node.limit, input, stats);
+        ASSIGN_OR_RETURN(PRelation input,
+                         Eval(node.child(), agg, engine, stats, span));
+        return PLimit(node.limit, input, stats, span);
       }
       case PlanKind::kPrefer: {
-        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
+        ASSIGN_OR_RETURN(PRelation input,
+                         Eval(node.child(), agg, engine, stats, span));
         return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
-                          stats, parallel);
+                          stats, parallel, span);
       }
     }
     return Status::Internal("unknown plan kind");
@@ -285,9 +409,10 @@ class GBUStrategy final : public Strategy {
 
   StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
                                        const AggregateFunction& agg,
-                                       Engine* engine,
-                                       ExecStats* stats) override {
-    return Eval(plan, agg, engine, stats);
+                                       Engine* engine, ExecStats* stats,
+                                       obs::Span* span) override {
+    obs::SpanScope scope(span, "strategy[GBU]");
+    return Eval(plan, agg, engine, stats, scope.get());
   }
 
  private:
@@ -301,16 +426,23 @@ class GBUStrategy final : public Strategy {
   };
 
   StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
-                           Engine* engine, ExecStats* stats) {
+                           Engine* engine, ExecStats* stats,
+                           obs::Span* parent) {
     if (!node.ContainsPrefer()) {
       // Maximal non-preference subtree: one grouped query to the engine.
+      obs::SpanScope scope(parent, "EngineQuery");
+      obs::SetDetail(scope.get(), StrFormat("root=%s", NodeLabel(node).c_str()));
       ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(node, stats));
+      obs::SetRowsOut(scope.get(), rel.NumRows());
       return PRelation(std::move(rel));
     }
     if (node.kind == PlanKind::kPrefer) {
-      ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats));
+      obs::SpanScope scope(parent, NodeLabel(node));
+      ScoreWriteScope scores(scope.get(), stats);
+      ASSIGN_OR_RETURN(PRelation input,
+                       Eval(node.child(), agg, engine, stats, scope.get()));
       return EvalPrefer(*node.preference, input, agg, &engine->catalog(), stats,
-                        &engine->parallel_context());
+                        &engine->parallel_context(), scope.get());
     }
 
     // An operator region above at least one prefer: materialize the
@@ -322,10 +454,13 @@ class GBUStrategy final : public Strategy {
     // temporaries' score relations into the region output. The temps are
     // needed only for the region query, so the guard scopes them to this
     // region — released even on early error returns.
+    obs::SpanScope region_scope(parent,
+                                StrFormat("Region[%s]", NodeLabel(node).c_str()));
+    obs::Span* span = region_scope.get();
     std::vector<const PlanNode*> prefer_roots;
     CollectRegionPrefers(node, &prefer_roots);
     ASSIGN_OR_RETURN(std::vector<PRelation> materialized,
-                     EvalPreferSubtrees(prefer_roots, agg, engine, stats));
+                     EvalPreferSubtrees(prefer_roots, agg, engine, stats, span));
 
     TempTableGuard guard(engine);
     std::vector<TempInput> temps;
@@ -334,9 +469,14 @@ class GBUStrategy final : public Strategy {
                      CloneRegion(node, engine, &materialized,
                                  &next_materialized, &temps, &guard,
                                  /*score_contributing=*/true));
+    obs::SpanScope q_scope(span, "RegionQuery");
     ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*region, stats));
+    obs::SetRowsOut(q_scope.get(), rel.NumRows());
+    q_scope.Finish();
 
     PRelation out(std::move(rel));
+    obs::SpanScope recombine(span, "RecombineScores");
+    ScoreWriteScope scores(recombine.get(), stats);
     RETURN_IF_ERROR(RecombineScores(temps, agg, &out, stats));
     return out;
   }
@@ -360,32 +500,39 @@ class GBUStrategy final : public Strategy {
   // context evaluates them left to right into the shared counters — the
   // exact pre-parallel order. A parallel context evaluates them as
   // independent tasks, each into its own ExecStats, merged into `stats` in
-  // plan order at the join point; errors likewise surface in plan order.
+  // plan order at the join point; errors likewise surface in plan order,
+  // and task spans are adopted in the same order (the "region
+  // materialization" phase of the trace).
   StatusOr<std::vector<PRelation>> EvalPreferSubtrees(
       const std::vector<const PlanNode*>& roots, const AggregateFunction& agg,
-      Engine* engine, ExecStats* stats) {
+      Engine* engine, ExecStats* stats, obs::Span* span) {
+    obs::SpanScope phase(span, "MaterializeRegionInputs");
     std::vector<PRelation> results;
     results.reserve(roots.size());
     const ParallelContext& ctx = engine->parallel_context();
     if (ctx.IsSerial() || roots.size() < 2) {
       for (const PlanNode* root : roots) {
-        ASSIGN_OR_RETURN(PRelation sub, Eval(*root, agg, engine, stats));
+        ASSIGN_OR_RETURN(PRelation sub,
+                         Eval(*root, agg, engine, stats, phase.get()));
         results.push_back(std::move(sub));
       }
       return results;
     }
     std::vector<std::optional<StatusOr<PRelation>>> partials(roots.size());
     std::vector<ExecStats> partial_stats(roots.size());
+    std::vector<obs::SpanPtr> holders = MakeTaskSpans(phase.get(), roots.size());
     std::vector<std::function<void()>> tasks;
     tasks.reserve(roots.size());
     for (size_t i = 0; i < roots.size(); ++i) {
       tasks.push_back([this, &roots, &agg, engine, &partials, &partial_stats,
-                       i] {
-        partials[i] = Eval(*roots[i], agg, engine, &partial_stats[i]);
+                       &holders, i] {
+        partials[i] =
+            Eval(*roots[i], agg, engine, &partial_stats[i], holders[i].get());
       });
     }
     ParallelInvoke(ctx, tasks);
     stats->MergeAll(partial_stats);
+    AdoptTaskSpans(phase.get(), &holders);
     for (std::optional<StatusOr<PRelation>>& partial : partials) {
       RETURN_IF_ERROR(partial->status());
       results.push_back(std::move(**partial));
@@ -521,28 +668,34 @@ class PlugInStrategy final : public Strategy {
 
   StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
                                        const AggregateFunction& agg,
-                                       Engine* engine,
-                                       ExecStats* stats) override {
+                                       Engine* engine, ExecStats* stats,
+                                       obs::Span* span) override {
     if (HasPreferUnderSetOp(plan)) {
       return Status::Unimplemented(
           "plug-in strategies cannot evaluate prefer operators below set "
           "operations; use BU or GBU");
     }
+    obs::SpanScope strategy_scope(
+        span, StrFormat("strategy[%s]", std::string(name()).c_str()));
+    obs::Span* s = strategy_scope.get();
     PlanPtr q_np = StripPrefers(plan);
     std::vector<PreferencePtr> prefs = CollectPrefers(plan);
 
     // Materialize the full (non-preference) answer.
+    obs::SpanScope q_scope(s, "EngineQuery[Q_NP]");
     ASSIGN_OR_RETURN(Relation r_np, engine->ExecuteConcurrent(*q_np, stats));
+    obs::SetRowsOut(q_scope.get(), r_np.NumRows());
+    q_scope.Finish();
     PRelation result(std::move(r_np));
 
     ASSIGN_OR_RETURN(PlanShape np_shape,
                      DerivePlanShape(*q_np, engine->catalog()));
     if (combined_) {
       return ExecuteCombined(std::move(result), *q_np, np_shape, prefs, agg,
-                             engine, stats);
+                             engine, stats, s);
     }
     return ExecuteBasic(std::move(result), *q_np, np_shape, prefs, agg, engine,
-                        stats);
+                        stats, s);
   }
 
  private:
@@ -557,9 +710,11 @@ class PlugInStrategy final : public Strategy {
                                    const PlanShape& np_shape,
                                    const std::vector<PreferencePtr>& prefs,
                                    const AggregateFunction& agg, Engine* engine,
-                                   ExecStats* stats) {
+                                   ExecStats* stats, obs::Span* span) {
     std::vector<PlanPtr> rewrites;
+    std::vector<std::string> labels;
     rewrites.reserve(prefs.size());
+    labels.reserve(prefs.size());
     for (const PreferencePtr& pref : prefs) {
       PlanPtr rewritten = q_np.Clone();
       rewritten = plan::Select(pref->CloneCondition(), std::move(rewritten));
@@ -572,13 +727,18 @@ class PlugInStrategy final : public Strategy {
             std::move(rewritten), plan::Scan(m.member_relation));
       }
       rewrites.push_back(std::move(rewritten));
+      labels.push_back(StrFormat("RewriteQuery[%s]", pref->name().c_str()));
     }
     std::vector<const PlanNode*> plans;
     plans.reserve(rewrites.size());
     for (const PlanPtr& plan : rewrites) plans.push_back(plan.get());
     ASSIGN_OR_RETURN(std::vector<Relation> partials,
-                     ExecuteEngineQueries(plans, engine, stats));
+                     ExecuteEngineQueries(plans, engine, stats, span, &labels));
     for (size_t i = 0; i < prefs.size(); ++i) {
+      obs::SpanScope merge(
+          span, StrFormat("MergePartial[%s]", prefs[i]->name().c_str()));
+      obs::SetRowsIn(merge.get(), partials[i].NumRows());
+      ScoreWriteScope scores(merge.get(), stats);
       RETURN_IF_ERROR(
           MergePartial(*prefs[i], partials[i], agg, stats, &result));
     }
@@ -595,7 +755,8 @@ class PlugInStrategy final : public Strategy {
                                       const PlanShape& np_shape,
                                       const std::vector<PreferencePtr>& prefs,
                                       const AggregateFunction& agg,
-                                      Engine* engine, ExecStats* stats) {
+                                      Engine* engine, ExecStats* stats,
+                                      obs::Span* span) {
     std::vector<const Preference*> plain;
     std::vector<const Preference*> membership;
     for (const PreferencePtr& pref : prefs) {
@@ -603,6 +764,7 @@ class PlugInStrategy final : public Strategy {
     }
 
     std::vector<PlanPtr> rewrites;
+    std::vector<std::string> labels;
     if (!plain.empty()) {
       ExprPtr disjunction;
       for (const Preference* pref : plain) {
@@ -614,6 +776,7 @@ class PlugInStrategy final : public Strategy {
                           : std::move(cond);
       }
       rewrites.push_back(plan::Select(std::move(disjunction), q_np.Clone()));
+      labels.push_back("CombinedQuery");
     }
     for (const Preference* pref : membership) {
       const MembershipSpec& m = *pref->membership();
@@ -623,24 +786,34 @@ class PlugInStrategy final : public Strategy {
           eb_eq(local_full, m.member_relation + "." + m.member_column),
           plan::Select(pref->CloneCondition(), q_np.Clone()),
           plan::Scan(m.member_relation)));
+      labels.push_back(
+          StrFormat("MembershipQuery[%s]", pref->name().c_str()));
     }
 
     std::vector<const PlanNode*> plans;
     plans.reserve(rewrites.size());
     for (const PlanPtr& plan : rewrites) plans.push_back(plan.get());
     ASSIGN_OR_RETURN(std::vector<Relation> materialized,
-                     ExecuteEngineQueries(plans, engine, stats));
+                     ExecuteEngineQueries(plans, engine, stats, span, &labels));
 
     size_t next = 0;
     if (!plain.empty()) {
       const Relation& matched = materialized[next++];
       for (const Preference* pref : plain) {
+        obs::SpanScope merge(span,
+                             StrFormat("MergePartial[%s]", pref->name().c_str()));
+        obs::SetRowsIn(merge.get(), matched.NumRows());
+        ScoreWriteScope scores(merge.get(), stats);
         RETURN_IF_ERROR(MergePartial(*pref, matched, agg, stats, &result));
       }
     }
     for (const Preference* pref : membership) {
-      RETURN_IF_ERROR(
-          MergePartial(*pref, materialized[next++], agg, stats, &result));
+      const Relation& matched = materialized[next++];
+      obs::SpanScope merge(span,
+                           StrFormat("MergePartial[%s]", pref->name().c_str()));
+      obs::SetRowsIn(merge.get(), matched.NumRows());
+      ScoreWriteScope scores(merge.get(), stats);
+      RETURN_IF_ERROR(MergePartial(*pref, matched, agg, stats, &result));
     }
     return result;
   }

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "engine/engine.h"
+#include "obs/trace.h"
 #include "palgebra/p_relation.h"
 #include "prefs/agg_func.h"
 
@@ -61,10 +62,18 @@ class Strategy {
   /// as long as each caller supplies its own ExecStats (they then share
   /// only the internally synchronized catalog and the read-only parallel
   /// context).
+  ///
+  /// When `span` is non-null the strategy records its execution as a
+  /// hierarchical trace under it: one child span per plan operator /
+  /// strategy phase / delegated engine query, with wall time, cardinalities
+  /// and score-relation writes. Parallel regions build each task's subtree
+  /// detached and adopt them at the join point in plan (or morsel) order,
+  /// so the assembled tree is deterministic for a fixed ParallelContext. A
+  /// null span (the default) keeps tracing entirely off the hot paths.
   virtual StatusOr<PRelation> ExecuteWithStats(const PlanNode& plan,
                                                const AggregateFunction& agg,
-                                               Engine* engine,
-                                               ExecStats* stats) = 0;
+                                               Engine* engine, ExecStats* stats,
+                                               obs::Span* span = nullptr) = 0;
 };
 
 /// Creates the strategy implementation for `kind`.

@@ -1,0 +1,167 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+namespace obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  // First bucket whose upper bound is >= value; ties land in the bounded
+  // bucket (bounds are inclusive upper limits).
+  size_t i = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+             bounds_.begin();
+  return i;  // bounds_.size() is the overflow bucket.
+}
+
+void Histogram::Record(double value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Accumulate the sum with a CAS loop over the double's bit pattern.
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    double current;
+    std::memcpy(&current, &observed, sizeof(current));
+    double next = current + value;
+    uint64_t next_bits;
+    std::memcpy(&next_bits, &next, sizeof(next_bits));
+    if (sum_bits_.compare_exchange_weak(observed, next_bits,
+                                        std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+double Histogram::QuantileUpperBound(double quantile) const {
+  uint64_t total = total_count();
+  if (total == 0 || bounds_.empty()) return 0.0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(quantile * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += bucket(i);
+    if (seen >= rank) {
+      return bounds_[std::min(i, bounds_.size() - 1)];
+    }
+  }
+  return bounds_.back();
+}
+
+std::vector<double> Histogram::DefaultLatencyBucketsMicros() {
+  // 10us .. 100s, half-decade steps: wide enough for a morsel dispatch and
+  // a full workload query alike.
+  std::vector<double> bounds;
+  for (double b = 10.0; b <= 1e8; b *= std::sqrt(10.0)) {
+    bounds.push_back(std::round(b));
+  }
+  return bounds;
+}
+
+std::string Histogram::ToString() const {
+  uint64_t total = total_count();
+  std::string out = StrFormat("count=%llu sum=%.3f",
+                              static_cast<unsigned long long>(total), sum());
+  if (total > 0) {
+    out += StrFormat(" p50<=%.0f p95<=%.0f", QuantileUpperBound(0.5),
+                     QuantileUpperBound(0.95));
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[std::string(name)];
+  if (slot == nullptr) {
+    if (upper_bounds.empty()) {
+      upper_bounds = Histogram::DefaultLatencyBucketsMicros();
+    }
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  }
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%s = %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("%s = %.3f\n", name.c_str(), value);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += StrFormat("%s: %s\n", name.c_str(), histogram->ToString().c_str());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+                     static_cast<unsigned long long>(counter->value()));
+    first = false;
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    out += StrFormat("%s\"%s\": %.3f", first ? "" : ", ", name.c_str(), value);
+    first = false;
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out += StrFormat(
+        "%s\"%s\": {\"count\": %llu, \"sum\": %.3f, \"p50\": %.0f, "
+        "\"p95\": %.0f}",
+        first ? "" : ", ", name.c_str(),
+        static_cast<unsigned long long>(histogram->total_count()),
+        histogram->sum(), histogram->QuantileUpperBound(0.5),
+        histogram->QuantileUpperBound(0.95));
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked intentionally, like ThreadPool::Shared(): telemetry may be
+  // recorded from worker threads during static destruction.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace prefdb

@@ -1,0 +1,119 @@
+#ifndef PREFDB_OBS_METRICS_H_
+#define PREFDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prefdb {
+namespace obs {
+
+/// A monotonically increasing named counter. Increments are relaxed atomics:
+/// counters are telemetry, not synchronization — readers only ever see a
+/// consistent (possibly slightly stale) total.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A fixed-bucket histogram for latency-like values (microseconds by
+/// convention). Bucket `i` counts samples with value <= bounds[i]; one
+/// implicit overflow bucket catches everything above the last bound. The
+/// boundaries are fixed at construction — recording is an index computation
+/// plus one relaxed atomic increment, safe from any thread.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void Record(double value);
+
+  /// Index of the bucket `value` falls into (the overflow bucket is index
+  /// `upper_bounds().size()`). Exposed for the boundary tests.
+  size_t BucketIndex(double value) const;
+
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t total_count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Sum of recorded values (for mean derivation).
+  double sum() const;
+
+  /// Value below which `quantile` (in [0, 1]) of the samples fall, estimated
+  /// as the upper bound of the bucket containing that rank (the overflow
+  /// bucket reports the last finite bound). 0 when empty.
+  double QuantileUpperBound(double quantile) const;
+
+  /// The default latency bucket ladder: exponential from 10us to ~100s.
+  static std::vector<double> DefaultLatencyBucketsMicros();
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> bounds_;                   // Ascending upper bounds.
+  std::vector<std::atomic<uint64_t>> buckets_;   // bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};            // CAS-accumulated double.
+};
+
+/// A registry of named counters, gauges and histograms — the system's
+/// metrics backbone. Handles returned by counter()/histogram() are stable
+/// for the registry's lifetime, so hot paths resolve a name once and then
+/// increment lock-free. Snapshots render in sorted name order, so exported
+/// metrics are deterministic for deterministic counter values.
+///
+/// One registry instance lives in each Engine (per-database query metrics);
+/// Global() serves process-wide subsystems (the shared thread pool).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* counter(std::string_view name);
+
+  /// Returns the histogram registered under `name`, creating it with
+  /// `upper_bounds` (or the default latency ladder when empty) on first use.
+  Histogram* histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  /// Sets a point-in-time gauge (e.g. a snapshot of another subsystem's
+  /// internal counter).
+  void SetGauge(std::string_view name, double value);
+
+  /// All metrics, one per line, sorted by name — the deterministic export.
+  std::string ToString() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
+  /// with keys in sorted order.
+  std::string ToJson() const;
+
+  /// The process-wide registry.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace obs
+}  // namespace prefdb
+
+#endif  // PREFDB_OBS_METRICS_H_

@@ -1,0 +1,82 @@
+#include "obs/trace.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+namespace obs {
+
+SpanPtr Span::Detached(std::string_view name) {
+  SpanPtr span = std::make_unique<Span>();
+  span->name = std::string(name);
+  return span;
+}
+
+Span* Span::AddChild(std::string_view name) {
+  children.push_back(Detached(name));
+  return children.back().get();
+}
+
+void Span::Adopt(SpanPtr child) {
+  if (child != nullptr) children.push_back(std::move(child));
+}
+
+double Span::ChildMicros() const {
+  double total = 0.0;
+  for (const SpanPtr& child : children) total += child->micros;
+  return total;
+}
+
+std::string Span::ToString(bool include_timing, int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += name;
+  std::string attrs;
+  if (include_timing) attrs += StrFormat("time=%.3fms", micros / 1000.0);
+  if (rows_in != kUnset || rows_out != kUnset) {
+    if (!attrs.empty()) attrs += ' ';
+    if (rows_in != kUnset && rows_out != kUnset) {
+      attrs += StrFormat("rows=%zu -> %zu", rows_in, rows_out);
+    } else if (rows_in != kUnset) {
+      attrs += StrFormat("rows_in=%zu", rows_in);
+    } else {
+      attrs += StrFormat("rows=%zu", rows_out);
+    }
+  }
+  if (score_entries != kUnset) {
+    if (!attrs.empty()) attrs += ' ';
+    attrs += StrFormat("score_entries=%zu", score_entries);
+  }
+  if (!detail.empty()) {
+    if (!attrs.empty()) attrs += ' ';
+    attrs += detail;
+  }
+  if (!attrs.empty()) out += "  (" + attrs + ")";
+  out += '\n';
+  for (const SpanPtr& child : children) {
+    out += child->ToString(include_timing, indent + 1);
+  }
+  return out;
+}
+
+std::string Span::ToJson(bool include_timing) const {
+  std::string out = "{\"name\": \"" + JsonEscape(name) + "\"";
+  if (include_timing) out += StrFormat(", \"micros\": %.1f", micros);
+  if (rows_in != kUnset) out += StrFormat(", \"rows_in\": %zu", rows_in);
+  if (rows_out != kUnset) out += StrFormat(", \"rows_out\": %zu", rows_out);
+  if (score_entries != kUnset) {
+    out += StrFormat(", \"score_entries\": %zu", score_entries);
+  }
+  if (!detail.empty()) out += ", \"detail\": \"" + JsonEscape(detail) + "\"";
+  if (!children.empty()) {
+    out += ", \"children\": [";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += children[i]->ToJson(include_timing);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace prefdb

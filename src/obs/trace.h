@@ -1,0 +1,119 @@
+#ifndef PREFDB_OBS_TRACE_H_
+#define PREFDB_OBS_TRACE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace prefdb {
+namespace obs {
+
+struct Span;
+using SpanPtr = std::unique_ptr<Span>;
+
+/// One node of a query trace: a named region of execution (a plan operator,
+/// a strategy phase, a delegated engine query) with wall time, cardinality
+/// and score-relation telemetry, plus child spans.
+///
+/// Ownership and threading discipline mirror ExecStats: a span is never
+/// written from two threads. A parallel region gives every task a detached
+/// root (Detached()) and the owner adopts the task roots *at the join
+/// point, in task order* (Adopt()), so for a fixed ParallelContext the
+/// assembled tree — names, nesting, cardinalities — is identical run to
+/// run, and at threads=1 it is the exact serial tree.
+///
+/// Tracing is disabled by passing null spans: every helper below (and every
+/// annotation site in the executors) no-ops on nullptr, so the disabled
+/// cost is one pointer test per annotation.
+struct Span {
+  static constexpr size_t kUnset = static_cast<size_t>(-1);
+
+  std::string name;    // e.g. "Prefer[p1]", "EngineQuery", "strategy[GBU]".
+  std::string detail;  // Optional annotation, e.g. "morsels=8 slots=4".
+  double micros = 0.0;
+  size_t rows_in = kUnset;
+  size_t rows_out = kUnset;
+  size_t score_entries = kUnset;  // Score-relation writes attributed here.
+  std::vector<SpanPtr> children;
+
+  /// Creates an unattached span (a trace root, or a parallel task's root).
+  static SpanPtr Detached(std::string_view name);
+
+  /// Appends a child and returns it (single-threaded on this span).
+  Span* AddChild(std::string_view name);
+
+  /// Splices `child` in as the next child — the join-point adoption of a
+  /// parallel task's detached span. No-op on nullptr children.
+  void Adopt(SpanPtr child);
+
+  /// Sum of `micros` over this span's direct children (the "self time" of a
+  /// span is micros minus this).
+  double ChildMicros() const;
+
+  /// Multi-line indented rendering:
+  ///   Prefer[p1]  (time=1.203ms rows=1000 -> 1000 score_entries=412)
+  /// `include_timing=false` drops the wall-clock figures — that rendering
+  /// is the determinism contract checked by the tests (byte-identical
+  /// across runs for a fixed ParallelContext at threads=1).
+  std::string ToString(bool include_timing = true, int indent = 0) const;
+
+  /// JSON object {"name": ..., "micros": ..., "children": [...]} — the
+  /// export the benches embed into BENCH_*.json for per-phase breakdowns.
+  /// Timing fields are omitted when `include_timing` is false.
+  std::string ToJson(bool include_timing = true) const;
+};
+
+/// RAII scope that times a child span of `parent`. When `parent` is null
+/// the scope is a no-op shell: no allocation, no clock reads — the
+/// zero-cost-when-disabled contract.
+class SpanScope {
+ public:
+  SpanScope(Span* parent, std::string_view name) {
+    if (parent != nullptr) span_ = parent->AddChild(name);
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() { Finish(); }
+
+  /// The child span, or nullptr when tracing is disabled. Pass this down
+  /// to nested regions.
+  Span* get() const { return span_; }
+
+  /// Stops the clock now (before destruction), e.g. to exclude result
+  /// post-processing from the span.
+  void Finish() {
+    if (span_ != nullptr) {
+      span_->micros = watch_.ElapsedMicros();
+      span_ = nullptr;
+    }
+  }
+
+ private:
+  Span* span_ = nullptr;
+  Stopwatch watch_;
+};
+
+/// Annotation helpers; all no-op on null spans.
+inline void SetRowsIn(Span* span, size_t rows) {
+  if (span != nullptr) span->rows_in = rows;
+}
+inline void SetRowsOut(Span* span, size_t rows) {
+  if (span != nullptr) span->rows_out = rows;
+}
+inline void SetScoreEntries(Span* span, size_t entries) {
+  if (span != nullptr) span->score_entries = entries;
+}
+inline void SetDetail(Span* span, std::string detail) {
+  if (span != nullptr) span->detail = std::move(detail);
+}
+
+}  // namespace obs
+}  // namespace prefdb
+
+#endif  // PREFDB_OBS_TRACE_H_

@@ -21,6 +21,21 @@ MorselPlan PlanFor(size_t n, const ParallelContext* parallel) {
                                                  : *parallel);
 }
 
+// Annotates the caller-provided span with an operator's cardinalities and
+// (when the operator actually split into morsels) its parallel shape. The
+// span's wall time is owned by the caller: strategies wrap each operator
+// call in a SpanScope, so a null span here costs only this pointer test.
+void AnnotateSpan(obs::Span* span, size_t rows_in, size_t rows_out,
+                  const MorselPlan* plan = nullptr) {
+  if (span == nullptr) return;
+  span->rows_in = rows_in;
+  span->rows_out = rows_out;
+  if (plan != nullptr && !plan->serial()) {
+    span->detail = StrFormat("morsels=%zu slots=%zu", plan->morsel_count(),
+                             plan->slots());
+  }
+}
+
 // Copies the score entries of surviving rows from `input` into `out`.
 // Used by operators that drop tuples (select, semijoin, set difference).
 // Parallel plans probe the input score relation in concurrent morsels
@@ -123,8 +138,8 @@ Status CheckSetCompatible(const PRelation& left, const PRelation& right) {
 }  // namespace
 
 StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
-                            ExecStats* stats,
-                            const ParallelContext* parallel) {
+                            ExecStats* stats, const ParallelContext* parallel,
+                            obs::Span* span) {
   ++stats->operator_invocations;
   ExprPtr bound = predicate.Clone();
   RETURN_IF_ERROR(bound->Bind(input.rel.schema()));
@@ -157,11 +172,13 @@ StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
   }
   stats->tuples_materialized += out.rel.NumRows();
   CarryScores(input, &out, stats, parallel);
+  AnnotateSpan(span, input.rel.NumRows(), out.rel.NumRows(), &plan);
   return out;
 }
 
 StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
-                             const PRelation& input, ExecStats* stats) {
+                             const PRelation& input, ExecStats* stats,
+                             obs::Span* span) {
   ++stats->operator_invocations;
   PlanShape shape{input.rel.schema(), input.rel.key_columns()};
   ASSIGN_OR_RETURN(ProjectionResolution res, ResolveProjection(shape, columns));
@@ -202,12 +219,14 @@ StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
       ++stats->score_entries_written;
     }
   }
+  AnnotateSpan(span, input.rel.NumRows(), out.rel.NumRows());
   return out;
 }
 
 StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
                           const PRelation& right, const AggregateFunction& agg,
-                          ExecStats* stats, const ParallelContext* parallel) {
+                          ExecStats* stats, const ParallelContext* parallel,
+                          obs::Span* span) {
   ++stats->operator_invocations;
   Schema combined = left.rel.schema().Concat(right.rel.schema());
   ExprPtr bound = predicate.Clone();
@@ -332,12 +351,15 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
+  AnnotateSpan(span, left.rel.NumRows() + right.rel.NumRows(),
+               out.rel.NumRows(), &plan);
   return out;
 }
 
 StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
                               const PRelation& right, ExecStats* stats,
-                              const ParallelContext* parallel) {
+                              const ParallelContext* parallel,
+                              obs::Span* span) {
   ++stats->operator_invocations;
   Schema combined = left.rel.schema().Concat(right.rel.schema());
   ExprPtr bound = predicate.Clone();
@@ -416,12 +438,14 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
   }
   stats->tuples_materialized += out.rel.NumRows();
   CarryScores(left, &out, stats, parallel);
+  AnnotateSpan(span, left.rel.NumRows() + right.rel.NumRows(),
+               out.rel.NumRows(), &plan);
   return out;
 }
 
 StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
                            const AggregateFunction& agg, ExecStats* stats,
-                           const ParallelContext* parallel) {
+                           const ParallelContext* parallel, obs::Span* span) {
   ++stats->operator_invocations;
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
@@ -466,12 +490,15 @@ StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
+  AnnotateSpan(span, left.rel.NumRows() + right.rel.NumRows(),
+               out.rel.NumRows(), &plan);
   return out;
 }
 
 StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
                                const AggregateFunction& agg, ExecStats* stats,
-                               const ParallelContext* parallel) {
+                               const ParallelContext* parallel,
+                               obs::Span* span) {
   ++stats->operator_invocations;
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
@@ -500,11 +527,14 @@ StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
+  AnnotateSpan(span, left.rel.NumRows() + right.rel.NumRows(),
+               out.rel.NumRows(), &plan);
   return out;
 }
 
 StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
-                          ExecStats* stats, const ParallelContext* parallel) {
+                          ExecStats* stats, const ParallelContext* parallel,
+                          obs::Span* span) {
   ++stats->operator_invocations;
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
@@ -528,10 +558,13 @@ StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
   }
   stats->tuples_materialized += out.rel.NumRows();
   CarryScores(left, &out, stats, parallel);
+  AnnotateSpan(span, left.rel.NumRows() + right.rel.NumRows(),
+               out.rel.NumRows(), &plan);
   return out;
 }
 
-StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats) {
+StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats,
+                              obs::Span* span) {
   ++stats->operator_invocations;
   PRelation out;
   out.rel = Relation(input.rel.schema());
@@ -543,11 +576,13 @@ StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats) {
   }
   stats->tuples_materialized += out.rel.NumRows();
   CarryScores(input, &out, stats);
+  AnnotateSpan(span, input.rel.NumRows(), out.rel.NumRows());
   return out;
 }
 
 StatusOr<PRelation> PSort(const std::vector<SortKey>& keys,
-                          const PRelation& input, ExecStats* stats) {
+                          const PRelation& input, ExecStats* stats,
+                          obs::Span* span) {
   ++stats->operator_invocations;
   struct ResolvedKey {
     size_t index;
@@ -575,10 +610,12 @@ StatusOr<PRelation> PSort(const std::vector<SortKey>& keys,
                      return false;
                    });
   stats->tuples_materialized += out.rel.NumRows();
+  AnnotateSpan(span, input.rel.NumRows(), out.rel.NumRows());
   return out;
 }
 
-StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats) {
+StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats,
+                           obs::Span* span) {
   ++stats->operator_invocations;
   PRelation out;
   out.rel = Relation(input.rel.schema());
@@ -590,13 +627,15 @@ StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats) {
   }
   stats->tuples_materialized += out.rel.NumRows();
   CarryScores(input, &out, stats);
+  AnnotateSpan(span, input.rel.NumRows(), out.rel.NumRows());
   return out;
 }
 
 StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
                                const AggregateFunction& agg,
                                const Catalog* catalog, ExecStats* stats,
-                               const ParallelContext* parallel) {
+                               const ParallelContext* parallel,
+                               obs::Span* span) {
   ++stats->operator_invocations;
   ExprPtr condition = pref.CloneCondition();
   RETURN_IF_ERROR(condition->Bind(input.rel.schema()));
@@ -685,6 +724,7 @@ StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
     }
   }
   stats->tuples_materialized += out.rel.NumRows();
+  AnnotateSpan(span, input.rel.NumRows(), out.rel.NumRows(), &plan);
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define PREFDB_PALGEBRA_P_OPS_H_
 
 #include "engine/exec_stats.h"
+#include "obs/trace.h"
 #include "palgebra/p_relation.h"
 #include "parallel/parallel_context.h"
 #include "plan/plan.h"
@@ -28,6 +29,11 @@ namespace prefdb {
 /// non-serial; per-morsel partial results are merged in morsel order, so
 /// output is deterministic for a fixed context. Passing nullptr (or a
 /// serial context) takes the original single-threaded code path.
+///
+/// Every operator also accepts an optional trace span (obs/trace.h). When
+/// non-null, the operator annotates it with input/output cardinalities and
+/// its morsel shape; the caller owns the span's timing (strategies wrap
+/// each operator call in a SpanScope). A null span costs one pointer test.
 
 /// σ_φ over a p-relation: hard boolean filter; surviving tuples keep their
 /// pairs (score entries of dropped tuples are pruned). Parallel evaluation
@@ -35,12 +41,14 @@ namespace prefdb {
 /// in order), so results are bit-identical to serial execution.
 StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
                             ExecStats* stats,
-                            const ParallelContext* parallel = nullptr);
+                            const ParallelContext* parallel = nullptr,
+                            obs::Span* span = nullptr);
 
 /// π over a p-relation: projects columns, implicitly preserving the key
 /// columns (and thereby scores and confidences, paper §IV-B).
 StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
-                             const PRelation& input, ExecStats* stats);
+                             const PRelation& input, ExecStats* stats,
+                             obs::Span* span = nullptr);
 
 /// Inner join ⋈_{φ,F}: joins tuples and combines their pairs with `F`
 /// (paper Fig. 3). The output key is the concatenation of the input keys.
@@ -51,14 +59,16 @@ StatusOr<PRelation> PProject(const std::vector<std::string>& columns,
 StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
                           const PRelation& right, const AggregateFunction& agg,
                           ExecStats* stats,
-                          const ParallelContext* parallel = nullptr);
+                          const ParallelContext* parallel = nullptr,
+                          obs::Span* span = nullptr);
 
 /// Left semijoin ⋉_φ: keeps left tuples with at least one match; left pairs
 /// are kept unchanged (the right side only qualifies tuples). Parallel
 /// evaluation morselizes the left-side probe like PJoin.
 StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
                               const PRelation& right, ExecStats* stats,
-                              const ParallelContext* parallel = nullptr);
+                              const ParallelContext* parallel = nullptr,
+                              obs::Span* span = nullptr);
 
 /// Set union ∪_F with duplicate elimination; pairs of tuples present in
 /// both inputs are combined with `F`. Parallel evaluation precomputes the
@@ -67,29 +77,35 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
 /// first occurrence wins) stays serial over the precomputed flags.
 StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
                            const AggregateFunction& agg, ExecStats* stats,
-                           const ParallelContext* parallel = nullptr);
+                           const ParallelContext* parallel = nullptr,
+                           obs::Span* span = nullptr);
 
 /// Set intersection ∩_F; pairs combined with `F`. Parallelizes like PUnion.
 StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
                                const AggregateFunction& agg, ExecStats* stats,
-                               const ParallelContext* parallel = nullptr);
+                               const ParallelContext* parallel = nullptr,
+                               obs::Span* span = nullptr);
 
 /// Set difference: tuples of `left` not in `right`, keeping left pairs.
 /// Parallelizes like PUnion.
 StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
                           ExecStats* stats,
-                          const ParallelContext* parallel = nullptr);
+                          const ParallelContext* parallel = nullptr,
+                          obs::Span* span = nullptr);
 
 /// Duplicate elimination over a p-relation (pairs unaffected: duplicate
 /// tuples share a key and therefore a pair).
-StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats);
+StatusOr<PRelation> PDistinct(const PRelation& input, ExecStats* stats,
+                              obs::Span* span = nullptr);
 
 /// ORDER BY over a p-relation (pairs unaffected).
 StatusOr<PRelation> PSort(const std::vector<SortKey>& keys,
-                          const PRelation& input, ExecStats* stats);
+                          const PRelation& input, ExecStats* stats,
+                          obs::Span* span = nullptr);
 
 /// First-n over a p-relation; pairs of dropped tuples are pruned.
-StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats);
+StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats,
+                           obs::Span* span = nullptr);
 
 /// The prefer operator λ_{p,F} (paper Def. in §IV-C): evaluates preference
 /// `pref` on the p-relation. For every tuple satisfying the conditional
@@ -109,7 +125,8 @@ StatusOr<PRelation> PLimit(size_t n, const PRelation& input, ExecStats* stats);
 StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
                                const AggregateFunction& agg,
                                const Catalog* catalog, ExecStats* stats,
-                               const ParallelContext* parallel = nullptr);
+                               const ParallelContext* parallel = nullptr,
+                               obs::Span* span = nullptr);
 
 }  // namespace prefdb
 

@@ -3,7 +3,18 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/string_util.h"
+
 namespace prefdb {
+
+std::string ThreadPoolTelemetry::ToString() const {
+  return StrFormat(
+      "tasks_executed=%llu steals=%llu help_drains=%llu "
+      "queue_wait_micros=%.1f",
+      static_cast<unsigned long long>(tasks_executed),
+      static_cast<unsigned long long>(steals),
+      static_cast<unsigned long long>(help_drains), queue_wait_micros);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   size_t n = std::max<size_t>(1, num_threads);
@@ -26,7 +37,8 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queues_[next_queue_].push_back(std::move(task));
+    queues_[next_queue_].push_back(
+        {std::move(task), std::chrono::steady_clock::now()});
     next_queue_ = (next_queue_ + 1) % queues_.size();
   }
   cv_.notify_one();
@@ -37,20 +49,40 @@ size_t ThreadPool::steal_count() const {
   return steal_count_;
 }
 
+ThreadPoolTelemetry ThreadPool::telemetry() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadPoolTelemetry t;
+  t.tasks_executed = tasks_executed_;
+  t.steals = steal_count_;
+  t.help_drains = help_drains_;
+  t.queue_wait_micros = queue_wait_micros_;
+  return t;
+}
+
+void ThreadPool::NoteDequeued(const QueuedTask& task) {
+  ++tasks_executed_;
+  queue_wait_micros_ +=
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - task.submitted)
+          .count();
+}
+
 bool ThreadPool::NextTask(size_t worker_index, std::function<void()>* task) {
-  std::deque<std::function<void()>>& own = queues_[worker_index];
+  std::deque<QueuedTask>& own = queues_[worker_index];
   if (!own.empty()) {
-    *task = std::move(own.front());
+    NoteDequeued(own.front());
+    *task = std::move(own.front().fn);
     own.pop_front();
     return true;
   }
   // Steal from the back of a sibling's deque, scanning round-robin from the
   // next worker so no single victim is preferred.
   for (size_t off = 1; off < queues_.size(); ++off) {
-    std::deque<std::function<void()>>& victim =
+    std::deque<QueuedTask>& victim =
         queues_[(worker_index + off) % queues_.size()];
     if (!victim.empty()) {
-      *task = std::move(victim.back());
+      NoteDequeued(victim.back());
+      *task = std::move(victim.back().fn);
       victim.pop_back();
       ++steal_count_;
       return true;
@@ -63,9 +95,11 @@ bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (std::deque<std::function<void()>>& queue : queues_) {
+    for (std::deque<QueuedTask>& queue : queues_) {
       if (!queue.empty()) {
-        task = std::move(queue.front());
+        NoteDequeued(queue.front());
+        ++help_drains_;
+        task = std::move(queue.front().fn);
         queue.pop_front();
         break;
       }

@@ -1,8 +1,10 @@
 #ifndef PREFDB_PARALLEL_THREAD_POOL_H_
 #define PREFDB_PARALLEL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -11,6 +13,20 @@
 #include <vector>
 
 namespace prefdb {
+
+/// A consistent snapshot of a pool's lifetime telemetry (all counters taken
+/// under one lock). `queue_wait_micros` is the summed submit-to-dequeue
+/// latency over all executed tasks — queue pressure in aggregate;
+/// `help_drains` counts tasks a joining thread ran itself instead of
+/// sleeping (TaskGroup::Wait's helping protocol).
+struct ThreadPoolTelemetry {
+  uint64_t tasks_executed = 0;
+  uint64_t steals = 0;
+  uint64_t help_drains = 0;
+  double queue_wait_micros = 0.0;
+
+  std::string ToString() const;
+};
 
 /// A fixed-size work-stealing thread pool.
 ///
@@ -45,6 +61,10 @@ class ThreadPool {
   /// queued on (telemetry; exercised by the skew tests).
   size_t steal_count() const;
 
+  /// Full lifetime telemetry snapshot (tasks, steals, helping drains,
+  /// aggregate queue-wait time).
+  ThreadPoolTelemetry telemetry() const;
+
   /// Pops one queued task (any queue) and runs it on the calling thread.
   /// Returns false without blocking when every queue is empty. This is the
   /// "helping" half of TaskGroup::Wait: a thread blocked on a join drains
@@ -60,17 +80,30 @@ class ThreadPool {
   static ThreadPool& Shared();
 
  private:
+  /// A queued task plus its submission time, so dequeue can attribute the
+  /// time the task spent waiting for a worker.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
   void WorkerLoop(size_t worker_index);
   /// Pops the next task for `worker_index` (own queue first, then steal).
   /// Returns false if no task is available. Requires `mu_` held.
   bool NextTask(size_t worker_index, std::function<void()>* task);
+  /// Records the dequeue of `task` into the telemetry counters. Requires
+  /// `mu_` held.
+  void NoteDequeued(const QueuedTask& task);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<std::deque<std::function<void()>>> queues_;  // One per worker.
+  std::vector<std::deque<QueuedTask>> queues_;  // One per worker.
   std::vector<std::thread> workers_;
   size_t next_queue_ = 0;     // Round-robin submission cursor.
   size_t steal_count_ = 0;
+  uint64_t tasks_executed_ = 0;
+  uint64_t help_drains_ = 0;
+  double queue_wait_micros_ = 0.0;
   bool shutting_down_ = false;
 };
 

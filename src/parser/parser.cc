@@ -17,6 +17,13 @@ class Parser {
 
   StatusOr<ParsedQuery> ParseQuery() {
     ParsedQuery query;
+    // EXPLAIN ANALYZE <query>: run the query with tracing forced on and
+    // render the span tree (QueryResult::explain_analyze).
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      RETURN_IF_ERROR(ExpectKeyword("ANALYZE"));
+      query.explain_analyze = true;
+    }
     ASSIGN_OR_RETURN(PlanPtr plan, ParseSelectBlock(&query));
     while (PeekKeyword("UNION") || PeekKeyword("INTERSECT") ||
            PeekKeyword("EXCEPT")) {

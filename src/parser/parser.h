@@ -29,6 +29,10 @@ struct ParsedQuery {
   std::vector<PreferencePtr> preferences;
   /// The SELECT list as written; empty means SELECT * (all columns).
   std::vector<std::string> output_columns;
+  /// True for `EXPLAIN ANALYZE <query>`: the runner executes the query with
+  /// tracing forced on and renders the span tree into
+  /// QueryResult::explain_analyze.
+  bool explain_analyze = false;
 };
 
 /// Parses a PrefSQL query. The dialect:

@@ -113,6 +113,20 @@ class ParallelEquivalenceTest : public ::testing::TestWithParam<QuerySpec> {
       EXPECT_EQ(actual->stats.engine_queries, expected->stats.engine_queries)
           << StrategyKindName(kind) << " threads=" << threads;
     }
+
+    // Trace determinism at threads=1: two traced serial runs render the
+    // same timing-free span tree, byte for byte (structure, cardinalities
+    // and score counts are all scheduling-independent).
+    QueryOptions traced = reference;
+    traced.trace = true;
+    auto first = session()->Query(spec.sql, traced);
+    auto second = session()->Query(spec.sql, traced);
+    ASSERT_TRUE(first.ok() && second.ok()) << StrategyKindName(kind);
+    ASSERT_NE(first->trace, nullptr);
+    ASSERT_NE(second->trace, nullptr);
+    EXPECT_EQ(first->trace->ToString(/*include_timing=*/false),
+              second->trace->ToString(/*include_timing=*/false))
+        << StrategyKindName(kind) << ": serial trace not reproducible";
   }
 };
 
