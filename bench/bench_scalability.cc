@@ -90,6 +90,98 @@ void RunThreadSweep(Session* session, const std::string& sql,
   }
 }
 
+// Warm/cold repeat-query sweep of the preference-aware result cache: per
+// strategy, the wall time of (a) cache off, (b) a cold run into an empty
+// cache, (c) warm repeats that hit. Rows and counters are identical in all
+// three modes (the cache replays stats deltas on hits; see
+// tests/parallel_equivalence_test.cc) — only wall time and the
+// pref.cache.* metrics differ, which is exactly what this sweep records in
+// BENCH_cache.json.
+void RunCacheSweep(Session* session, const std::string& sql,
+                   const std::string& workload_name, const BenchEnv& env) {
+  std::printf("\nResult-cache sweep (%s; repeat-query wall time):\n\n",
+              workload_name.c_str());
+  PrintTableHeader({"strategy", "off ms", "cold ms", "warm ms", "hits"});
+
+  ParallelContext defaults;
+  FILE* json = OpenBenchJson("BENCH_cache.json", "cache", env,
+                             defaults.morsel_size);
+  obs::MetricsRegistry& metrics = session->engine().metrics();
+  for (StrategyKind kind : AllStrategies()) {
+    QueryOptions options;
+    options.strategy = kind;
+
+    options.cache = false;
+    Measurement off = MeasureQuery(session, sql, options, env.repetitions);
+
+    // Cold: every repetition starts from an empty cache (the SET CACHE
+    // pragma is the documented control surface, so use it here too).
+    options.cache = true;
+    std::vector<double> cold_millis;
+    for (int rep = 0; rep < env.repetitions; ++rep) {
+      auto cleared = session->Query("SET CACHE CLEAR");
+      if (!cleared.ok()) {
+        std::fprintf(stderr, "%s\n", cleared.status().ToString().c_str());
+        std::abort();
+      }
+      auto result = session->Query(sql, options);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        std::abort();
+      }
+      cold_millis.push_back(result->millis);
+    }
+    std::sort(cold_millis.begin(), cold_millis.end());
+    Measurement cold;
+    cold.p50_ms = cold_millis[cold_millis.size() / 2];
+    cold.millis = cold.p50_ms;
+    cold.p95_ms = cold_millis[std::min(cold_millis.size() - 1,
+                                       (cold_millis.size() * 95) / 100)];
+    cold.max_ms = cold_millis.back();
+
+    // Warm: the last cold run above primed the cache; every repetition
+    // hits. The hit/miss deltas come from the engine's metrics registry.
+    uint64_t hits_before = metrics.counter("pref.cache.hits")->value();
+    uint64_t misses_before = metrics.counter("pref.cache.misses")->value();
+    Measurement warm = MeasureQuery(session, sql, options, env.repetitions);
+    uint64_t hits = metrics.counter("pref.cache.hits")->value() - hits_before;
+    uint64_t misses =
+        metrics.counter("pref.cache.misses")->value() - misses_before;
+
+    PrintTableRow({std::string(StrategyKindName(kind)), FormatMillis(off.millis),
+                   FormatMillis(cold.millis), FormatMillis(warm.millis),
+                   FormatCount(hits)});
+    if (json != nullptr) {
+      struct ModeRow {
+        const char* mode;
+        const Measurement* m;
+        uint64_t hits;
+        uint64_t misses;
+      };
+      const ModeRow rows[] = {{"off", &off, 0, 0},
+                              {"cold", &cold, 0, 0},
+                              {"warm", &warm, hits, misses}};
+      for (const ModeRow& row : rows) {
+        std::fprintf(json,
+                     "{\"bench\": \"cache\", \"workload\": \"%s\", "
+                     "\"strategy\": \"%s\", \"mode\": \"%s\", %s, "
+                     "\"cache_hits\": %llu, \"cache_misses\": %llu}\n",
+                     workload_name.c_str(),
+                     std::string(StrategyKindName(kind)).c_str(), row.mode,
+                     MeasurementJsonFields(*row.m).c_str(),
+                     static_cast<unsigned long long>(row.hits),
+                     static_cast<unsigned long long>(row.misses));
+      }
+    }
+  }
+  auto off_again = session->Query("SET CACHE CLEAR");
+  if (!off_again.ok()) std::abort();
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("\nWrote BENCH_cache.json\n");
+  }
+}
+
 int Main() {
   BenchEnv env = GetBenchEnv();
   std::printf(
@@ -142,6 +234,7 @@ int Main() {
   }
   Session session(std::move(*catalog));
   RunThreadSweep(&session, sql, "IMDB-1", env);
+  RunCacheSweep(&session, sql, "IMDB-1", env);
   std::printf(
       "\nExpected shape: FtP and the plug-ins, whose cost is dominated by "
       "the post-filter prefer sweep over the materialized result, speed up "

@@ -72,7 +72,8 @@ bool HandleCommand(const std::string& line, Session* session,
         "  \\tables             list tables and schemas\n"
         "  \\strategy <name>    ftp | bu | gbu | pluginbasic | plugincombined\n"
         "  \\quit               exit\n"
-        "  <PrefSQL>           submit with an empty line or ';'\n");
+        "  <PrefSQL>           submit with an empty line or ';'\n"
+        "  SET CACHE ON|OFF|CLEAR|LIMIT <bytes>   result-cache pragma\n");
     return true;
   }
   return false;

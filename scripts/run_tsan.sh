@@ -4,8 +4,8 @@
 # Configures a dedicated build tree with -DPREFDB_SANITIZE=thread, builds
 # the `parallel`-labeled test targets, and runs `ctest -L parallel`. A data
 # race anywhere in the thread pool, the morsel loops, the strategies'
-# subtree concurrency, or the catalog shows up as a TSan report and a
-# failing test.
+# subtree concurrency, the result cache, or the catalog shows up as a TSan
+# report and a failing test.
 #
 # Usage:  scripts/run_tsan.sh [build-dir]     (default: build-tsan)
 set -euo pipefail
@@ -17,7 +17,7 @@ if [ "$#" -ge 1 ]; then shift; fi
 cmake -B "$BUILD_DIR" -S . -DPREFDB_SANITIZE=thread \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j --target \
-  thread_pool_test parallel_equivalence_test obs_test
+  thread_pool_test parallel_equivalence_test obs_test cache_test
 
 # halt_on_error: fail fast on the first report instead of drowning it in
 # follow-on races; second_deadlock_stack: full stacks for lock inversions.

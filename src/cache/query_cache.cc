@@ -1,0 +1,178 @@
+#include "cache/query_cache.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+namespace cache {
+
+namespace {
+
+size_t EstimateValueBytes(const Value& value) {
+  size_t bytes = sizeof(Value);
+  if (value.is_string()) bytes += value.AsString().capacity();
+  return bytes;
+}
+
+size_t EstimateTupleBytes(const Tuple& tuple) {
+  size_t bytes = sizeof(Tuple);
+  for (const Value& value : tuple) bytes += EstimateValueBytes(value);
+  return bytes;
+}
+
+}  // namespace
+
+size_t EstimateRelationBytes(const Relation& rel) {
+  size_t bytes = sizeof(Relation);
+  for (size_t i = 0; i < rel.schema().size(); ++i) {
+    bytes += sizeof(Column) + rel.schema().column(i).name.capacity() +
+             rel.schema().column(i).qualifier.capacity();
+  }
+  for (const Tuple& row : rel.rows()) bytes += EstimateTupleBytes(row);
+  return bytes;
+}
+
+size_t EstimateScoreRelationBytes(const ScoreRelation& scores) {
+  size_t bytes = sizeof(ScoreRelation);
+  for (const auto& [key, pair] : scores.entries()) {
+    bytes += EstimateTupleBytes(key) + sizeof(pair) + sizeof(void*);
+  }
+  return bytes;
+}
+
+QueryCache::QueryCache(obs::MetricsRegistry* metrics, size_t max_bytes)
+    : max_bytes_(max_bytes), metrics_(metrics) {
+  if (metrics_ != nullptr) {
+    hit_counter_ = metrics_->counter("pref.cache.hits");
+    miss_counter_ = metrics_->counter("pref.cache.misses");
+    eviction_counter_ = metrics_->counter("pref.cache.evictions");
+    PublishGauges();
+  }
+}
+
+void QueryCache::set_max_bytes(size_t max_bytes) {
+  max_bytes_.store(max_bytes, std::memory_order_relaxed);
+  size_t budget = ShardBudget();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    EvictLocked(&shard, budget);
+  }
+  PublishGauges();
+}
+
+void QueryCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entry_count_.fetch_sub(shard.index.size(), std::memory_order_relaxed);
+    total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
+    shard.index.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+  PublishGauges();
+}
+
+std::shared_ptr<const CachedResult> QueryCache::Lookup(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
+  std::shared_ptr<const CachedResult> result;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      result = it->second->second;
+    }
+  }
+  if (result != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hit_counter_ != nullptr) hit_counter_->Increment();
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (miss_counter_ != nullptr) miss_counter_->Increment();
+  }
+  return result;
+}
+
+void QueryCache::Insert(const CacheKey& key,
+                        std::shared_ptr<CachedResult> value) {
+  if (value == nullptr) return;
+  if (value->bytes == 0) {
+    value->bytes = EstimateRelationBytes(value->rel) +
+                   (value->has_scores
+                        ? EstimateScoreRelationBytes(value->scores)
+                        : 0);
+  }
+  size_t budget = ShardBudget();
+  if (value->bytes > budget) return;  // Would evict a whole shard for one key.
+
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      // Replace in place (a concurrent miss on the same key raced us here;
+      // both computed the same result, keep the newer one).
+      shard.bytes -= it->second->second->bytes;
+      total_bytes_.fetch_sub(it->second->second->bytes,
+                             std::memory_order_relaxed);
+      shard.lru.erase(it->second);
+      shard.index.erase(it);
+      entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.bytes += value->bytes;
+    total_bytes_.fetch_add(value->bytes, std::memory_order_relaxed);
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index[key] = shard.lru.begin();
+    entry_count_.fetch_add(1, std::memory_order_relaxed);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    EvictLocked(&shard, budget);
+  }
+  PublishGauges();
+}
+
+void QueryCache::EvictLocked(Shard* shard, size_t budget) {
+  while (shard->bytes > budget && !shard->lru.empty()) {
+    auto& victim = shard->lru.back();
+    shard->bytes -= victim.second->bytes;
+    total_bytes_.fetch_sub(victim.second->bytes, std::memory_order_relaxed);
+    shard->index.erase(victim.first);
+    shard->lru.pop_back();
+    entry_count_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    if (eviction_counter_ != nullptr) eviction_counter_->Increment();
+  }
+}
+
+void QueryCache::PublishGauges() {
+  if (metrics_ == nullptr) return;
+  metrics_->SetGauge("pref.cache.bytes",
+                     static_cast<double>(
+                         total_bytes_.load(std::memory_order_relaxed)));
+  metrics_->SetGauge("pref.cache.entries",
+                     static_cast<double>(
+                         entry_count_.load(std::memory_order_relaxed)));
+}
+
+QueryCache::Stats QueryCache::snapshot() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.entries = entry_count_.load(std::memory_order_relaxed);
+  stats.bytes = total_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+std::string QueryCache::ToString() const {
+  Stats s = snapshot();
+  return StrFormat(
+      "QueryCache{enabled=%d entries=%zu bytes=%zu/%zu hits=%llu misses=%llu "
+      "evictions=%llu}",
+      enabled() ? 1 : 0, s.entries, s.bytes, max_bytes(),
+      static_cast<unsigned long long>(s.hits),
+      static_cast<unsigned long long>(s.misses),
+      static_cast<unsigned long long>(s.evictions));
+}
+
+}  // namespace cache
+}  // namespace prefdb

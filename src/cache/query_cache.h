@@ -1,0 +1,144 @@
+#ifndef PREFDB_CACHE_QUERY_CACHE_H_
+#define PREFDB_CACHE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/fingerprint.h"
+#include "engine/exec_stats.h"
+#include "obs/metrics.h"
+#include "palgebra/score_relation.h"
+#include "types/relation.h"
+
+namespace prefdb {
+namespace cache {
+
+/// One cached result: the materialized relation of a delegated engine query
+/// or the full p-relation output of a prefer subtree, plus the ExecStats
+/// delta recorded while computing it on the miss path.
+///
+/// The stats delta is the trick that keeps counters deterministic: a hit
+/// *replays* the delta into the caller's ExecStats instead of executing, so
+/// `tuples_materialized`, `rows_scanned`, `engine_queries` etc. are
+/// identical cold vs. warm and cache on vs. off, at every thread count —
+/// the savings show up in wall time and the pref.cache.* metrics, never as
+/// counter drift the equivalence tests would have to special-case.
+struct CachedResult {
+  Relation rel;
+  ScoreRelation scores;
+  bool has_scores = false;
+  ExecStats stats;
+  /// Estimated footprint; filled by Insert when left 0.
+  size_t bytes = 0;
+};
+
+/// Rough heap footprint of a materialized relation / score relation —
+/// consistent (same inputs, same estimate) so the byte budget behaves
+/// deterministically in tests.
+size_t EstimateRelationBytes(const Relation& rel);
+size_t EstimateScoreRelationBytes(const ScoreRelation& scores);
+
+/// A thread-safe, sharded LRU result cache with a byte budget.
+///
+/// Entries are held as shared_ptr<const CachedResult>: a Lookup returns a
+/// pin, so eviction (which merely drops the cache's own reference) can run
+/// concurrently with readers still consuming the result — no reader ever
+/// observes a freed relation, and no lock is held while copying row data.
+///
+/// Disabled by default: the seed semantics (every query recomputed) are
+/// preserved until a session opts in via the `SET CACHE ON` pragma,
+/// QueryOptions::cache, or set_enabled().
+class QueryCache {
+ public:
+  static constexpr size_t kDefaultMaxBytes = 64ull << 20;  // 64 MiB.
+
+  /// `metrics` (nullable) receives the pref.cache.{hits,misses,evictions}
+  /// counters and the pref.cache.{bytes,entries} gauges.
+  explicit QueryCache(obs::MetricsRegistry* metrics = nullptr,
+                      size_t max_bytes = kDefaultMaxBytes);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  size_t max_bytes() const { return max_bytes_.load(std::memory_order_relaxed); }
+  /// Sets the byte budget and evicts immediately down to it.
+  void set_max_bytes(size_t max_bytes);
+
+  /// Drops every entry (readers holding pins keep their data).
+  void Clear();
+
+  /// The entry under `key`, or null on miss. A hit refreshes LRU recency.
+  /// Counts a hit/miss either way — call only when actually consulting the
+  /// cache, not to peek.
+  std::shared_ptr<const CachedResult> Lookup(const CacheKey& key);
+
+  /// Stores `value` under `key` (replacing any existing entry), computing
+  /// value->bytes if unset, then evicts LRU-last until the shard fits its
+  /// budget slice. Oversized values (bigger than a whole shard's slice) are
+  /// silently not stored.
+  void Insert(const CacheKey& key, std::shared_ptr<CachedResult> value);
+
+  /// Point-in-time totals (atomics; exact when quiescent).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t insertions = 0;
+    size_t entries = 0;
+    size_t bytes = 0;
+  };
+  Stats snapshot() const;
+
+  std::string ToString() const;
+
+ private:
+  static constexpr size_t kShards = 8;
+
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used. The index maps key -> list position.
+    std::list<std::pair<CacheKey, std::shared_ptr<const CachedResult>>> lru;
+    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    return shards_[CacheKeyHash()(key) % kShards];
+  }
+  size_t ShardBudget() const { return max_bytes() / kShards; }
+  // Pops LRU-last entries until `shard` fits `budget`. Caller holds mu.
+  void EvictLocked(Shard* shard, size_t budget);
+  void PublishGauges();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> max_bytes_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<size_t> total_bytes_{0};
+  std::atomic<size_t> entry_count_{0};
+
+  obs::MetricsRegistry* metrics_;
+  obs::Counter* hit_counter_ = nullptr;       // "pref.cache.hits"
+  obs::Counter* miss_counter_ = nullptr;      // "pref.cache.misses"
+  obs::Counter* eviction_counter_ = nullptr;  // "pref.cache.evictions"
+
+  Shard shards_[kShards];
+};
+
+}  // namespace cache
+}  // namespace prefdb
+
+#endif  // PREFDB_CACHE_QUERY_CACHE_H_

@@ -1,0 +1,47 @@
+#ifndef PREFDB_COMMON_HASH_H_
+#define PREFDB_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace prefdb {
+
+/// FNV-1a 64-bit — the stable, dependency-free byte hash behind the cache
+/// fingerprints (src/cache) and preference content hashes. Not
+/// cryptographic; the cache layer compensates by hashing every stream into
+/// two independently seeded lanes (a 128-bit key).
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline uint64_t FnvMixBytes(uint64_t state, const void* data, size_t len) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    state ^= bytes[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Strings are terminated with a separator byte so that consecutive mixes
+/// are unambiguous: Mix("ab") + Mix("c") != Mix("a") + Mix("bc").
+inline uint64_t FnvMix(uint64_t state, std::string_view s) {
+  state = FnvMixBytes(state, s.data(), s.size());
+  return FnvMixBytes(state, "\x1f", 1);
+}
+
+inline uint64_t FnvMix(uint64_t state, uint64_t v) {
+  return FnvMixBytes(state, &v, sizeof(v));
+}
+
+/// Doubles are mixed by bit pattern: two preferences differing only in the
+/// 17th significant digit of a confidence still fingerprint differently.
+inline uint64_t FnvMix(uint64_t state, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return FnvMix(state, bits);
+}
+
+}  // namespace prefdb
+
+#endif  // PREFDB_COMMON_HASH_H_

@@ -4,8 +4,10 @@
 #include <string>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "engine/exec_stats.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/parallel_context.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
@@ -45,7 +47,14 @@ class Engine {
   /// are safe as long as nothing mutates the catalog meanwhile — the
   /// executor only reads it, and lazy per-table index/statistics builds are
   /// internally synchronized.
-  StatusOr<Relation> ExecuteConcurrent(const PlanNode& query, ExecStats* stats);
+  ///
+  /// When the result cache is enabled, the query is fingerprinted first: a
+  /// hit returns the cached relation and replays its ExecStats delta into
+  /// `stats` (so counters match an uncached execution exactly); a miss
+  /// executes and stores the result. `span` (nullable) receives a
+  /// "cache=hit" / "cache=miss" annotation — surfaced by EXPLAIN ANALYZE.
+  StatusOr<Relation> ExecuteConcurrent(const PlanNode& query, ExecStats* stats,
+                                       obs::Span* span = nullptr);
 
   /// Executes without native optimization (for the optimizer-ablation
   /// benchmarks and as a differential-testing oracle).
@@ -88,10 +97,17 @@ class Engine {
   const ParallelContext& parallel_context() const { return parallel_; }
   void set_parallel_context(const ParallelContext& ctx) { parallel_ = ctx; }
 
+  /// The preference-aware result cache shared by every query against this
+  /// engine: delegated-scan relations and prefer-subtree outputs, keyed by
+  /// plan/preference fingerprints (src/cache). Off by default.
+  cache::QueryCache* cache() { return &cache_; }
+  const cache::QueryCache& cache() const { return cache_; }
+
  private:
   Catalog catalog_;
   ExecStats stats_;
   obs::MetricsRegistry metrics_;
+  cache::QueryCache cache_{&metrics_};
   obs::Counter* query_count_;     // "engine.queries"
   obs::Histogram* query_micros_;  // "engine.query_micros"
   bool native_optimizer_enabled_ = true;

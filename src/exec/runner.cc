@@ -1,6 +1,7 @@
 #include "exec/runner.h"
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "exec/personalize.h"
 #include "palgebra/filters.h"
 
@@ -44,15 +45,56 @@ StatusOr<QueryResult> Session::QueryPersonalized(std::string_view prefsql,
                                                  const Profile& profile,
                                                  const QueryOptions& options) {
   ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(prefsql, engine_.catalog()));
-  RETURN_IF_ERROR(InjectProfile(&parsed, profile, engine_.catalog()).status());
+  if (parsed.cache_pragma.kind == CachePragmaKind::kNone) {
+    RETURN_IF_ERROR(
+        InjectProfile(&parsed, profile, engine_.catalog()).status());
+  }
   return Run(parsed, options);
+}
+
+QueryResult Session::ApplyCachePragma(const CachePragma& pragma) {
+  cache::QueryCache* cache = engine_.cache();
+  QueryResult result;
+  switch (pragma.kind) {
+    case CachePragmaKind::kOn:
+      cache->set_enabled(true);
+      result.executed_plan = "SET CACHE ON";
+      break;
+    case CachePragmaKind::kOff:
+      cache->set_enabled(false);
+      result.executed_plan = "SET CACHE OFF";
+      break;
+    case CachePragmaKind::kClear:
+      cache->Clear();
+      result.executed_plan = "SET CACHE CLEAR";
+      break;
+    case CachePragmaKind::kLimit:
+      cache->set_max_bytes(pragma.limit_bytes);
+      result.executed_plan =
+          StrFormat("SET CACHE LIMIT %zu", pragma.limit_bytes);
+      break;
+    case CachePragmaKind::kNone:
+      break;
+  }
+  return result;
 }
 
 StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
                                    const QueryOptions& options) {
   last_failure_.reset();
+  if (parsed.cache_pragma.kind != CachePragmaKind::kNone) {
+    return ApplyCachePragma(parsed.cache_pragma);
+  }
   Stopwatch watch;
   engine_.set_parallel_context(options.parallel);
+
+  // Per-query cache override: flip the engine-wide switch for the duration
+  // of this query only. Sessions are not re-entrant (one query at a time),
+  // so the save/restore cannot interleave with another query.
+  const bool saved_cache_enabled = engine_.cache()->enabled();
+  if (options.cache.has_value()) {
+    engine_.cache()->set_enabled(*options.cache);
+  }
 
   bool tracing = options.trace || parsed.explain_analyze;
   obs::SpanPtr root = tracing ? obs::Span::Detached("Query") : nullptr;
@@ -66,6 +108,9 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
   StatusOr<QueryResult> outcome =
       RunInternal(parsed, options, strategy.get(), &stats, root.get());
   double millis = watch.ElapsedMillis();
+  if (options.cache.has_value()) {
+    engine_.cache()->set_enabled(saved_cache_enabled);
+  }
 
   engine_.mutable_stats()->Merge(stats);
   // Fold the per-query deltas into the engine's cumulative metrics registry

@@ -33,6 +33,10 @@ struct QueryOptions {
   /// test per annotation site. An `EXPLAIN ANALYZE` query prefix forces
   /// tracing on regardless of this flag.
   bool trace = false;
+  /// Per-query override of the engine's result cache: when set, the cache
+  /// is enabled/disabled for this query only (the engine-wide setting —
+  /// toggled by the `SET CACHE ON|OFF` pragma — is restored afterwards).
+  std::optional<bool> cache;
 };
 
 /// The answer of a preferential query plus its execution telemetry.
@@ -107,6 +111,9 @@ class Session {
                                     const QueryOptions& options,
                                     Strategy* strategy, ExecStats* stats,
                                     obs::Span* root);
+  /// Applies a `SET CACHE` pragma to the engine's cache and returns the
+  /// synthetic (empty-relation) result describing what was done.
+  QueryResult ApplyCachePragma(const CachePragma& pragma);
 
   Engine engine_;
   std::optional<FailureReport> last_failure_;

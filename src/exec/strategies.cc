@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "cache/fingerprint.h"
+#include "cache/query_cache.h"
 #include "common/string_util.h"
 #include "optimizer/extended_optimizer.h"
 #include "palgebra/p_ops.h"
@@ -146,53 +150,226 @@ StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs
 // per-task stats are merged into `stats` in plan order at the join point,
 // so counter totals match serial execution.
 //
-// With a non-null `span`, each query gets a child span named by `labels`
-// (parallel queries build theirs detached, adopted in plan order at the
-// join — same discipline as the stats merge).
+// Identical plans (same fingerprint, including referenced-table versions)
+// are detected up front and executed once; each duplicate shares the unique
+// execution's relation and *replays* its ExecStats delta, so per-plan
+// deltas and counter totals still match executing every plan. With
+// `per_plan_stats` non-null it receives each plan's delta (duplicates
+// report their representative's), the contract the prefetch layer below
+// consumes.
+//
+// With a non-null `span`, each executed query gets a child span named by
+// `labels` (parallel queries build theirs detached, adopted in execution
+// order at the join — same discipline as the stats merge); deduplicated
+// plans get a span annotated "dedup".
 StatusOr<std::vector<Relation>> ExecuteEngineQueries(
     const std::vector<const PlanNode*>& plans, Engine* engine,
     ExecStats* stats, obs::Span* span = nullptr,
-    const std::vector<std::string>* labels = nullptr) {
+    const std::vector<std::string>* labels = nullptr,
+    std::vector<ExecStats>* per_plan_stats = nullptr) {
   auto label = [labels](size_t i) -> std::string {
     return labels != nullptr ? (*labels)[i] : "EngineQuery";
   };
-  std::vector<Relation> results;
-  results.reserve(plans.size());
-  const ParallelContext& ctx = engine->parallel_context();
-  if (ctx.IsSerial() || plans.size() < 2) {
-    for (size_t i = 0; i < plans.size(); ++i) {
-      obs::SpanScope scope(span, label(i));
-      ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*plans[i], stats));
-      obs::SetRowsOut(scope.get(), rel.NumRows());
-      results.push_back(std::move(rel));
+  const size_t n = plans.size();
+
+  // rep[i] is the index of the first plan with i's fingerprint (i itself
+  // when unique or unfingerprintable).
+  std::vector<size_t> rep(n);
+  for (size_t i = 0; i < n; ++i) rep[i] = i;
+  if (n >= 2) {
+    const uint64_t seed = engine->native_optimizer_enabled() ? 1 : 0;
+    std::unordered_map<cache::CacheKey, size_t, cache::CacheKeyHash> first;
+    first.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      StatusOr<cache::PlanFingerprint> fp =
+          cache::FingerprintPlan(*plans[i], engine->catalog(), seed);
+      if (!fp.ok()) continue;
+      auto [it, inserted] = first.emplace(fp->key, i);
+      if (!inserted) rep[i] = it->second;
     }
-    return results;
+  }
+  std::vector<size_t> unique;
+  unique.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rep[i] == i) unique.push_back(i);
   }
 
-  std::vector<std::optional<StatusOr<Relation>>> partials(plans.size());
-  std::vector<ExecStats> partial_stats(plans.size());
-  std::vector<obs::SpanPtr> holders = MakeTaskSpans(span, plans.size());
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(plans.size());
-  for (size_t i = 0; i < plans.size(); ++i) {
-    tasks.push_back(
-        [&partials, &partial_stats, &plans, &holders, &label, engine, i] {
-          obs::SpanScope scope(holders[i].get(), label(i));
-          partials[i] = engine->ExecuteConcurrent(*plans[i], &partial_stats[i]);
-          if (partials[i]->ok()) {
-            obs::SetRowsOut(scope.get(), (*partials[i])->NumRows());
-          }
-        });
+  std::vector<std::optional<StatusOr<Relation>>> partials(n);
+  std::vector<ExecStats> partial_stats(n);
+  const ParallelContext& ctx = engine->parallel_context();
+  if (ctx.IsSerial() || unique.size() < 2) {
+    for (size_t i : unique) {
+      obs::SpanScope scope(span, label(i));
+      partials[i] =
+          engine->ExecuteConcurrent(*plans[i], &partial_stats[i], scope.get());
+      if (partials[i]->ok()) {
+        obs::SetRowsOut(scope.get(), (*partials[i])->NumRows());
+      }
+    }
+  } else {
+    std::vector<obs::SpanPtr> holders = MakeTaskSpans(span, unique.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(unique.size());
+    for (size_t u = 0; u < unique.size(); ++u) {
+      tasks.push_back([&partials, &partial_stats, &plans, &holders, &label,
+                       &unique, engine, u] {
+        const size_t i = unique[u];
+        obs::SpanScope scope(holders[u].get(), label(i));
+        partials[i] =
+            engine->ExecuteConcurrent(*plans[i], &partial_stats[i], scope.get());
+        if (partials[i]->ok()) {
+          obs::SetRowsOut(scope.get(), (*partials[i])->NumRows());
+        }
+      });
+    }
+    ParallelInvoke(ctx, tasks);
+    AdoptTaskSpans(span, &holders);
   }
-  ParallelInvoke(ctx, tasks);
 
-  stats->MergeAll(partial_stats);
-  AdoptTaskSpans(span, &holders);
-  for (std::optional<StatusOr<Relation>>& partial : partials) {
-    RETURN_IF_ERROR(partial->status());
-    results.push_back(std::move(**partial));
+  // Last position consuming each representative's relation — everything
+  // before takes a copy, the final consumer moves.
+  std::vector<size_t> last_use(n);
+  for (size_t i = 0; i < n; ++i) last_use[rep[i]] = i;
+
+  std::vector<Relation> results;
+  results.reserve(n);
+  if (per_plan_stats != nullptr) per_plan_stats->assign(n, ExecStats());
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = rep[i];
+    stats->Merge(partial_stats[r]);
+    if (per_plan_stats != nullptr) (*per_plan_stats)[i] = partial_stats[r];
+    RETURN_IF_ERROR(partials[r]->status());
+    if (r != i && span != nullptr) {
+      obs::SpanScope dup(span, label(i));
+      obs::SetDetail(dup.get(), "dedup");
+      obs::SetRowsOut(dup.get(), (*partials[r])->NumRows());
+    }
+    if (i == last_use[r]) {
+      results.push_back(std::move(**partials[r]));
+    } else {
+      results.push_back(**partials[r]);
+    }
   }
   return results;
+}
+
+// Pre-executes the conventional queries a strategy is about to delegate
+// while recursing over its plan — BU's base-table scans, GBU's maximal
+// conventional subtrees under prefer chains — as one concurrent batch
+// through ExecuteEngineQueries, which also dedups identical queries by
+// fingerprint before dispatch. Consumption sites replay each root's
+// recorded ExecStats delta, so counter totals are identical to executing
+// the queries serially inside the recursion. Only active under a parallel
+// context with at least two delegation roots; a serial context keeps the
+// pre-existing recursive path untouched (threads=1 stays the bit-identical
+// baseline).
+class DelegatedQueryPrefetch {
+ public:
+  struct Entry {
+    std::shared_ptr<const Relation> rel;
+    ExecStats stats;
+  };
+
+  Status Run(const std::vector<const PlanNode*>& roots, Engine* engine,
+             obs::Span* span) {
+    const ParallelContext& ctx = engine->parallel_context();
+    if (ctx.IsSerial() || roots.size() < 2) return Status::OK();
+    obs::SpanScope phase(span, "PrefetchDelegatedQueries");
+    std::vector<std::string> labels;
+    labels.reserve(roots.size());
+    for (const PlanNode* root : roots) {
+      labels.push_back(
+          StrFormat("DelegatedQuery[%s]", NodeLabel(*root).c_str()));
+    }
+    ExecStats batch;  // Discarded: consumption replays per-root deltas.
+    std::vector<ExecStats> per_plan;
+    ASSIGN_OR_RETURN(std::vector<Relation> results,
+                     ExecuteEngineQueries(roots, engine, &batch, phase.get(),
+                                          &labels, &per_plan));
+    for (size_t i = 0; i < roots.size(); ++i) {
+      Entry entry;
+      entry.rel = std::make_shared<const Relation>(std::move(results[i]));
+      entry.stats = per_plan[i];
+      entries_.emplace(roots[i], std::move(entry));
+    }
+    return Status::OK();
+  }
+
+  // The prefetched result for `node`, or null if `node` was not a
+  // delegation root (or prefetch was inactive).
+  const Entry* Find(const PlanNode* node) const {
+    auto it = entries_.find(node);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::unordered_map<const PlanNode*, Entry> entries_;
+};
+
+// BU delegates every base-table scan to the engine.
+void CollectScanLeaves(const PlanNode& node,
+                       std::vector<const PlanNode*>* out) {
+  if (node.kind == PlanKind::kScan) {
+    out->push_back(&node);
+    return;
+  }
+  for (const PlanPtr& child : node.children) CollectScanLeaves(*child, out);
+}
+
+// GBU delegates each maximal conventional subtree its recursion reaches:
+// the node itself when prefer-free, a prefer chain's conventional child,
+// and — inside operator regions — only children that still contain prefer
+// operators (conventional region children fold into the region query,
+// which references per-evaluation temp tables and cannot be prefetched).
+// Mirrors GBUStrategy::Eval / CollectRegionPrefers exactly.
+void CollectGbuDelegationRoots(const PlanNode& node,
+                               std::vector<const PlanNode*>* out) {
+  if (!node.ContainsPrefer()) {
+    out->push_back(&node);
+    return;
+  }
+  if (node.kind == PlanKind::kPrefer) {
+    CollectGbuDelegationRoots(node.child(), out);
+    return;
+  }
+  for (const PlanPtr& child : node.children) {
+    if (!child->ContainsPrefer()) continue;
+    CollectGbuDelegationRoots(*child, out);
+  }
+}
+
+// Key for a prefer subtree's cached p-relation output: the fingerprint of
+// the whole prefer node (child plan + preference content + referenced
+// table versions + the optimizer toggle) combined with the aggregate
+// function and the evaluating strategy. BU and GBU materialize equivalent
+// p-relations but may order rows differently, and a warm result must be
+// bit-identical to the run that stored it *under the same strategy*.
+// nullopt when the cache is off or the subtree is uncacheable (temp
+// tables, unknown relations).
+std::optional<cache::CacheKey> PreferResultKey(const PlanNode& node,
+                                               const AggregateFunction& agg,
+                                               Engine* engine,
+                                               std::string_view strategy) {
+  if (!engine->cache()->enabled()) return std::nullopt;
+  StatusOr<cache::PlanFingerprint> fp = cache::FingerprintPlan(
+      node, engine->catalog(), engine->native_optimizer_enabled() ? 1 : 0);
+  if (!fp.ok() || !fp->cacheable) return std::nullopt;
+  cache::Fingerprinter combined;
+  combined.Mix(std::string_view("prefer-output"));
+  combined.Mix(fp->key);
+  combined.Mix(strategy);
+  combined.Mix(agg.name());
+  return combined.Key();
+}
+
+void StorePreferResult(Engine* engine, const cache::CacheKey& key,
+                       const PRelation& out, const ExecStats& delta) {
+  auto entry = std::make_shared<cache::CachedResult>();
+  entry->rel = out.rel;
+  entry->scores = out.scores;
+  entry->has_scores = true;
+  entry->stats = delta;
+  engine->cache()->Insert(key, std::move(entry));
 }
 
 // ---------------------------------------------------------------------------
@@ -218,7 +395,8 @@ class FtPStrategy final : public Strategy {
     // evaluated directly on R_NP.
     PlanPtr q_np = StripPrefers(plan);
     obs::SpanScope q_scope(s, "EngineQuery[Q_NP]");
-    ASSIGN_OR_RETURN(Relation r_np, engine->ExecuteConcurrent(*q_np, stats));
+    ASSIGN_OR_RETURN(Relation r_np,
+                     engine->ExecuteConcurrent(*q_np, stats, q_scope.get()));
     size_t np_rows = r_np.NumRows();
     obs::SetRowsOut(q_scope.get(), np_rows);
     q_scope.Finish();
@@ -243,7 +421,13 @@ class BUStrategy final : public Strategy {
                                        Engine* engine, ExecStats* stats,
                                        obs::Span* span) override {
     obs::SpanScope scope(span, "strategy[BU]");
-    return Eval(plan, agg, engine, stats, scope.get());
+    // Dispatch every base-table scan of the plan as one concurrent,
+    // deduplicated batch up front (no-op under a serial context).
+    DelegatedQueryPrefetch prefetch;
+    std::vector<const PlanNode*> roots;
+    CollectScanLeaves(plan, &roots);
+    RETURN_IF_ERROR(prefetch.Run(roots, engine, scope.get()));
+    return Eval(plan, agg, engine, stats, scope.get(), &prefetch);
   }
 
  private:
@@ -259,13 +443,14 @@ class BUStrategy final : public Strategy {
   // the same discipline: built detached, adopted left-then-right.
   StatusOr<std::pair<PRelation, PRelation>> EvalChildren(
       const PlanNode& node, const AggregateFunction& agg, Engine* engine,
-      ExecStats* stats, obs::Span* span) {
+      ExecStats* stats, obs::Span* span,
+      const DelegatedQueryPrefetch* prefetch) {
     const ParallelContext& ctx = engine->parallel_context();
     if (ctx.IsSerial()) {
       ASSIGN_OR_RETURN(PRelation left,
-                       Eval(node.child(0), agg, engine, stats, span));
+                       Eval(node.child(0), agg, engine, stats, span, prefetch));
       ASSIGN_OR_RETURN(PRelation right,
-                       Eval(node.child(1), agg, engine, stats, span));
+                       Eval(node.child(1), agg, engine, stats, span, prefetch));
       return std::make_pair(std::move(left), std::move(right));
     }
     std::optional<StatusOr<PRelation>> results[2];
@@ -273,11 +458,11 @@ class BUStrategy final : public Strategy {
     std::vector<obs::SpanPtr> holders = MakeTaskSpans(span, 2);
     std::vector<std::function<void()>> tasks;
     for (size_t i = 0; i < 2; ++i) {
-      tasks.push_back(
-          [this, &node, &agg, engine, &results, &partial_stats, &holders, i] {
-            results[i] = Eval(node.child(i), agg, engine, &partial_stats[i],
-                              holders[i].get());
-          });
+      tasks.push_back([this, &node, &agg, engine, &results, &partial_stats,
+                       &holders, prefetch, i] {
+        results[i] = Eval(node.child(i), agg, engine, &partial_stats[i],
+                          holders[i].get(), prefetch);
+      });
     }
     ParallelInvoke(ctx, tasks);
     stats->Merge(partial_stats[0]);
@@ -292,82 +477,119 @@ class BUStrategy final : public Strategy {
   // and attributes the node's score-relation writes to it, then dispatches
   // to the per-operator evaluation.
   StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
-                           Engine* engine, ExecStats* stats,
-                           obs::Span* parent) {
+                           Engine* engine, ExecStats* stats, obs::Span* parent,
+                           const DelegatedQueryPrefetch* prefetch) {
     obs::SpanScope scope(parent, NodeLabel(node));
     ScoreWriteScope scores(scope.get(), stats);
-    return EvalNode(node, agg, engine, stats, scope.get());
+    return EvalNode(node, agg, engine, stats, scope.get(), prefetch);
   }
 
   StatusOr<PRelation> EvalNode(const PlanNode& node,
                                const AggregateFunction& agg, Engine* engine,
-                               ExecStats* stats, obs::Span* span) {
+                               ExecStats* stats, obs::Span* span,
+                               const DelegatedQueryPrefetch* prefetch) {
     const ParallelContext* parallel = &engine->parallel_context();
     switch (node.kind) {
       case PlanKind::kScan: {
         // Base access goes through the engine (one trivial query), like the
-        // prototype's UDFs reading base relations from the DBMS.
-        ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(node, stats));
+        // prototype's UDFs reading base relations from the DBMS. The scan
+        // may have been dispatched up front as part of the prefetch batch —
+        // consume the shared result and replay its counter delta.
+        if (const DelegatedQueryPrefetch::Entry* hit = prefetch->Find(&node)) {
+          stats->Merge(hit->stats);
+          obs::AppendDetail(span, "prefetched");
+          obs::SetRowsOut(span, hit->rel->NumRows());
+          return PRelation(*hit->rel);
+        }
+        ASSIGN_OR_RETURN(Relation rel,
+                         engine->ExecuteConcurrent(node, stats, span));
         obs::SetRowsOut(span, rel.NumRows());
         return PRelation(std::move(rel));
       }
       case PlanKind::kSelect: {
         ASSIGN_OR_RETURN(PRelation input,
-                         Eval(node.child(), agg, engine, stats, span));
+                         Eval(node.child(), agg, engine, stats, span, prefetch));
         return PSelect(*node.predicate, input, stats, parallel, span);
       }
       case PlanKind::kProject: {
         ASSIGN_OR_RETURN(PRelation input,
-                         Eval(node.child(), agg, engine, stats, span));
+                         Eval(node.child(), agg, engine, stats, span, prefetch));
         return PProject(node.project_columns, input, stats, span);
       }
       case PlanKind::kJoin: {
         ASSIGN_OR_RETURN(auto children,
-                         EvalChildren(node, agg, engine, stats, span));
+                         EvalChildren(node, agg, engine, stats, span, prefetch));
         return PJoin(*node.predicate, children.first, children.second, agg,
                      stats, parallel, span);
       }
       case PlanKind::kSemiJoin: {
         ASSIGN_OR_RETURN(auto children,
-                         EvalChildren(node, agg, engine, stats, span));
+                         EvalChildren(node, agg, engine, stats, span, prefetch));
         return PSemiJoin(*node.predicate, children.first, children.second,
                          stats, parallel, span);
       }
       case PlanKind::kUnion: {
         ASSIGN_OR_RETURN(auto children,
-                         EvalChildren(node, agg, engine, stats, span));
+                         EvalChildren(node, agg, engine, stats, span, prefetch));
         return PUnion(children.first, children.second, agg, stats, parallel,
                       span);
       }
       case PlanKind::kIntersect: {
         ASSIGN_OR_RETURN(auto children,
-                         EvalChildren(node, agg, engine, stats, span));
+                         EvalChildren(node, agg, engine, stats, span, prefetch));
         return PIntersect(children.first, children.second, agg, stats, parallel,
                           span);
       }
       case PlanKind::kExcept: {
         ASSIGN_OR_RETURN(auto children,
-                         EvalChildren(node, agg, engine, stats, span));
+                         EvalChildren(node, agg, engine, stats, span, prefetch));
         return PDiff(children.first, children.second, stats, parallel, span);
       }
       case PlanKind::kDistinct: {
         ASSIGN_OR_RETURN(PRelation input,
-                         Eval(node.child(), agg, engine, stats, span));
+                         Eval(node.child(), agg, engine, stats, span, prefetch));
         return PDistinct(input, stats, span);
       }
       case PlanKind::kSort: {
         ASSIGN_OR_RETURN(PRelation input,
-                         Eval(node.child(), agg, engine, stats, span));
+                         Eval(node.child(), agg, engine, stats, span, prefetch));
         return PSort(node.sort_keys, input, stats, span);
       }
       case PlanKind::kLimit: {
         ASSIGN_OR_RETURN(PRelation input,
-                         Eval(node.child(), agg, engine, stats, span));
+                         Eval(node.child(), agg, engine, stats, span, prefetch));
         return PLimit(node.limit, input, stats, span);
       }
       case PlanKind::kPrefer: {
+        // Whole prefer-subtree outputs (rows *and* score relation) are the
+        // second class of cached values: on a hit, the child evaluation and
+        // the prefer sweep are both skipped and the stored ExecStats delta
+        // is replayed instead.
+        std::optional<cache::CacheKey> key =
+            PreferResultKey(node, agg, engine, "BU");
+        if (key.has_value()) {
+          if (std::shared_ptr<const cache::CachedResult> entry =
+                  engine->cache()->Lookup(*key)) {
+            stats->Merge(entry->stats);
+            obs::AppendDetail(span, "cache=hit");
+            obs::SetRowsOut(span, entry->rel.NumRows());
+            return PRelation(entry->rel, entry->scores);
+          }
+          obs::AppendDetail(span, "cache=miss");
+          ExecStats local;
+          ASSIGN_OR_RETURN(
+              PRelation input,
+              Eval(node.child(), agg, engine, &local, span, prefetch));
+          ASSIGN_OR_RETURN(PRelation out,
+                           EvalPrefer(*node.preference, input, agg,
+                                      &engine->catalog(), &local, parallel,
+                                      span));
+          stats->Merge(local);
+          StorePreferResult(engine, *key, out, local);
+          return out;
+        }
         ASSIGN_OR_RETURN(PRelation input,
-                         Eval(node.child(), agg, engine, stats, span));
+                         Eval(node.child(), agg, engine, stats, span, prefetch));
         return EvalPrefer(*node.preference, input, agg, &engine->catalog(),
                           stats, parallel, span);
       }
@@ -412,7 +634,15 @@ class GBUStrategy final : public Strategy {
                                        Engine* engine, ExecStats* stats,
                                        obs::Span* span) override {
     obs::SpanScope scope(span, "strategy[GBU]");
-    return Eval(plan, agg, engine, stats, scope.get());
+    // Dispatch the maximal conventional subtrees the recursion will
+    // delegate as one concurrent, deduplicated batch up front (no-op under
+    // a serial context). Region queries are excluded: they reference
+    // per-evaluation temp tables and only exist after materialization.
+    DelegatedQueryPrefetch prefetch;
+    std::vector<const PlanNode*> roots;
+    CollectGbuDelegationRoots(plan, &roots);
+    RETURN_IF_ERROR(prefetch.Run(roots, engine, scope.get()));
+    return Eval(plan, agg, engine, stats, scope.get(), &prefetch);
   }
 
  private:
@@ -426,21 +656,51 @@ class GBUStrategy final : public Strategy {
   };
 
   StatusOr<PRelation> Eval(const PlanNode& node, const AggregateFunction& agg,
-                           Engine* engine, ExecStats* stats,
-                           obs::Span* parent) {
+                           Engine* engine, ExecStats* stats, obs::Span* parent,
+                           const DelegatedQueryPrefetch* prefetch) {
     if (!node.ContainsPrefer()) {
-      // Maximal non-preference subtree: one grouped query to the engine.
+      // Maximal non-preference subtree: one grouped query to the engine,
+      // possibly already dispatched by the prefetch batch.
       obs::SpanScope scope(parent, "EngineQuery");
       obs::SetDetail(scope.get(), StrFormat("root=%s", NodeLabel(node).c_str()));
-      ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(node, stats));
+      if (const DelegatedQueryPrefetch::Entry* hit = prefetch->Find(&node)) {
+        stats->Merge(hit->stats);
+        obs::AppendDetail(scope.get(), "prefetched");
+        obs::SetRowsOut(scope.get(), hit->rel->NumRows());
+        return PRelation(*hit->rel);
+      }
+      ASSIGN_OR_RETURN(Relation rel,
+                       engine->ExecuteConcurrent(node, stats, scope.get()));
       obs::SetRowsOut(scope.get(), rel.NumRows());
       return PRelation(std::move(rel));
     }
     if (node.kind == PlanKind::kPrefer) {
       obs::SpanScope scope(parent, NodeLabel(node));
       ScoreWriteScope scores(scope.get(), stats);
-      ASSIGN_OR_RETURN(PRelation input,
-                       Eval(node.child(), agg, engine, stats, scope.get()));
+      std::optional<cache::CacheKey> key =
+          PreferResultKey(node, agg, engine, "GBU");
+      if (key.has_value()) {
+        if (std::shared_ptr<const cache::CachedResult> entry =
+                engine->cache()->Lookup(*key)) {
+          stats->Merge(entry->stats);
+          obs::AppendDetail(scope.get(), "cache=hit");
+          obs::SetRowsOut(scope.get(), entry->rel.NumRows());
+          return PRelation(entry->rel, entry->scores);
+        }
+        obs::AppendDetail(scope.get(), "cache=miss");
+        ExecStats local;
+        ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine,
+                                               &local, scope.get(), prefetch));
+        ASSIGN_OR_RETURN(PRelation out,
+                         EvalPrefer(*node.preference, input, agg,
+                                    &engine->catalog(), &local,
+                                    &engine->parallel_context(), scope.get()));
+        stats->Merge(local);
+        StorePreferResult(engine, *key, out, local);
+        return out;
+      }
+      ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats,
+                                             scope.get(), prefetch));
       return EvalPrefer(*node.preference, input, agg, &engine->catalog(), stats,
                         &engine->parallel_context(), scope.get());
     }
@@ -460,7 +720,8 @@ class GBUStrategy final : public Strategy {
     std::vector<const PlanNode*> prefer_roots;
     CollectRegionPrefers(node, &prefer_roots);
     ASSIGN_OR_RETURN(std::vector<PRelation> materialized,
-                     EvalPreferSubtrees(prefer_roots, agg, engine, stats, span));
+                     EvalPreferSubtrees(prefer_roots, agg, engine, stats, span,
+                                        prefetch));
 
     TempTableGuard guard(engine);
     std::vector<TempInput> temps;
@@ -470,7 +731,8 @@ class GBUStrategy final : public Strategy {
                                  &next_materialized, &temps, &guard,
                                  /*score_contributing=*/true));
     obs::SpanScope q_scope(span, "RegionQuery");
-    ASSIGN_OR_RETURN(Relation rel, engine->ExecuteConcurrent(*region, stats));
+    ASSIGN_OR_RETURN(Relation rel,
+                     engine->ExecuteConcurrent(*region, stats, q_scope.get()));
     obs::SetRowsOut(q_scope.get(), rel.NumRows());
     q_scope.Finish();
 
@@ -505,7 +767,8 @@ class GBUStrategy final : public Strategy {
   // materialization" phase of the trace).
   StatusOr<std::vector<PRelation>> EvalPreferSubtrees(
       const std::vector<const PlanNode*>& roots, const AggregateFunction& agg,
-      Engine* engine, ExecStats* stats, obs::Span* span) {
+      Engine* engine, ExecStats* stats, obs::Span* span,
+      const DelegatedQueryPrefetch* prefetch) {
     obs::SpanScope phase(span, "MaterializeRegionInputs");
     std::vector<PRelation> results;
     results.reserve(roots.size());
@@ -513,7 +776,7 @@ class GBUStrategy final : public Strategy {
     if (ctx.IsSerial() || roots.size() < 2) {
       for (const PlanNode* root : roots) {
         ASSIGN_OR_RETURN(PRelation sub,
-                         Eval(*root, agg, engine, stats, phase.get()));
+                         Eval(*root, agg, engine, stats, phase.get(), prefetch));
         results.push_back(std::move(sub));
       }
       return results;
@@ -525,9 +788,9 @@ class GBUStrategy final : public Strategy {
     tasks.reserve(roots.size());
     for (size_t i = 0; i < roots.size(); ++i) {
       tasks.push_back([this, &roots, &agg, engine, &partials, &partial_stats,
-                       &holders, i] {
-        partials[i] =
-            Eval(*roots[i], agg, engine, &partial_stats[i], holders[i].get());
+                       &holders, prefetch, i] {
+        partials[i] = Eval(*roots[i], agg, engine, &partial_stats[i],
+                           holders[i].get(), prefetch);
       });
     }
     ParallelInvoke(ctx, tasks);
@@ -599,6 +862,9 @@ class GBUStrategy final : public Strategy {
         std::unique_ptr<Table> table,
         Table::Create(name, sub.rel.schema(), std::move(*sub.rel.mutable_rows()),
                       temp.key_column_names, /*qualify_with_name=*/false));
+    // Plans referencing this table (the region query) must never enter the
+    // result cache: the name and version are unique to this evaluation.
+    table->MarkTemporary();
     RETURN_IF_ERROR(engine->mutable_catalog()->AddTable(std::move(table)));
     guard->Track(name);
     temps->push_back(std::move(temp));

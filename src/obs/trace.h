@@ -112,6 +112,14 @@ inline void SetScoreEntries(Span* span, size_t entries) {
 inline void SetDetail(Span* span, std::string detail) {
   if (span != nullptr) span->detail = std::move(detail);
 }
+/// Appends to an existing detail annotation (space-separated) instead of
+/// replacing it — e.g. the cache layer adding "cache=hit" to a span that
+/// already carries "root=Scan[MOVIES]".
+inline void AppendDetail(Span* span, std::string_view detail) {
+  if (span == nullptr) return;
+  if (!span->detail.empty()) span->detail += ' ';
+  span->detail.append(detail);
+}
 
 }  // namespace obs
 }  // namespace prefdb

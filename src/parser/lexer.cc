@@ -23,7 +23,7 @@ constexpr std::string_view kKeywords[] = {
     "INTERSECT", "EXCEPT", "PREFERRING", "SCORE", "CONF", "EXISTS",
     "USING",  "AGG",    "TOP",       "BY",    "WITH",     "RANKED",  "DOMINATED",
     "ORDER",  "LIMIT",  "ASC",       "DESC",  "TRUE",     "FALSE",   "NULL",
-    "DISTINCT", "EXPLAIN", "ANALYZE",
+    "DISTINCT", "EXPLAIN", "ANALYZE", "SET", "CACHE", "OFF", "CLEAR",
 };
 
 bool IsKeyword(const std::string& upper) {

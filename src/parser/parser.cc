@@ -17,6 +17,34 @@ class Parser {
 
   StatusOr<ParsedQuery> ParseQuery() {
     ParsedQuery query;
+    // SET CACHE ON | OFF | CLEAR | LIMIT <bytes>: result-cache pragma.
+    // Carries no plan; the runner applies it to the session's engine.
+    if (PeekKeyword("SET")) {
+      Advance();
+      RETURN_IF_ERROR(ExpectKeyword("CACHE"));
+      if (PeekKeyword("ON")) {
+        Advance();
+        query.cache_pragma.kind = CachePragmaKind::kOn;
+      } else if (PeekKeyword("OFF")) {
+        Advance();
+        query.cache_pragma.kind = CachePragmaKind::kOff;
+      } else if (PeekKeyword("CLEAR")) {
+        Advance();
+        query.cache_pragma.kind = CachePragmaKind::kClear;
+      } else if (PeekKeyword("LIMIT")) {
+        Advance();
+        ASSIGN_OR_RETURN(int64_t bytes, ExpectInteger("cache byte budget"));
+        if (bytes < 0) return Error("cache byte budget must be >= 0");
+        query.cache_pragma.kind = CachePragmaKind::kLimit;
+        query.cache_pragma.limit_bytes = static_cast<size_t>(bytes);
+      } else {
+        return Error("expected ON, OFF, CLEAR or LIMIT after SET CACHE");
+      }
+      if (Peek().kind != TokenKind::kEnd) {
+        return Error("unexpected trailing input '" + Peek().text + "'");
+      }
+      return query;
+    }
     // EXPLAIN ANALYZE <query>: run the query with tracing forced on and
     // render the span tree (QueryResult::explain_analyze).
     if (PeekKeyword("EXPLAIN")) {
@@ -658,8 +686,11 @@ StatusOr<ParsedQuery> ParseQuery(std::string_view text, const Catalog& catalog) 
   ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Parser parser(std::move(tokens), &catalog);
   ASSIGN_OR_RETURN(ParsedQuery query, parser.ParseQuery());
-  // Final validation: the extended plan must derive a shape.
-  RETURN_IF_ERROR(DerivePlanShape(*query.plan, catalog).status());
+  // Final validation: the extended plan must derive a shape. Pragma
+  // statements (SET CACHE ...) carry no plan.
+  if (query.plan != nullptr) {
+    RETURN_IF_ERROR(DerivePlanShape(*query.plan, catalog).status());
+  }
   return query;
 }
 

@@ -22,6 +22,17 @@ namespace prefdb {
 /// directly on the result of the non-preference query part (FtP) without
 /// re-joining base relations. The runner re-projects to `output_columns`
 /// after filtering.
+/// `SET CACHE ...` pragma statements (result-cache control). When `kind` is
+/// not kNone the statement carries no plan: the runner applies the pragma to
+/// the session's engine and returns a synthetic result.
+enum class CachePragmaKind { kNone, kOn, kOff, kClear, kLimit };
+
+struct CachePragma {
+  CachePragmaKind kind = CachePragmaKind::kNone;
+  /// Byte budget for `SET CACHE LIMIT <bytes>`.
+  size_t limit_bytes = 0;
+};
+
 struct ParsedQuery {
   PlanPtr plan;
   const AggregateFunction* agg = nullptr;
@@ -33,6 +44,8 @@ struct ParsedQuery {
   /// tracing forced on and renders the span tree into
   /// QueryResult::explain_analyze.
   bool explain_analyze = false;
+  /// Non-kNone when the statement is a `SET CACHE` pragma; `plan` is null.
+  CachePragma cache_pragma;
 };
 
 /// Parses a PrefSQL query. The dialect:

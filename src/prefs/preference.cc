@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "expr/expr_builder.h"
 
@@ -14,7 +15,29 @@ Preference::Preference(std::string name, std::vector<std::string> relations,
       relations_(std::move(relations)),
       condition_(std::move(condition)),
       scoring_(std::move(scoring)),
-      confidence_(std::clamp(confidence, 0.0, 1.0)) {}
+      confidence_(std::clamp(confidence, 0.0, 1.0)) {
+  content_hash_ = ComputeContentHash();
+}
+
+uint64_t Preference::ComputeContentHash() const {
+  // Conditional and scoring parts hash via their canonical rendering
+  // (Expr::ToString is deterministic and injective up to semantics the
+  // evaluator distinguishes). Relation names are case-normalized like the
+  // catalog; the preference *name* is deliberately excluded.
+  uint64_t h = kFnvOffsetBasis;
+  h = FnvMix(h, uint64_t{relations_.size()});
+  for (const std::string& rel : relations_) h = FnvMix(h, ToUpper(rel));
+  h = FnvMix(h, condition_->ToString());
+  h = FnvMix(h, scoring_.ToString());
+  h = FnvMix(h, confidence_);
+  h = FnvMix(h, uint64_t{has_membership_ ? 1u : 0u});
+  if (has_membership_) {
+    h = FnvMix(h, ToUpper(membership_.member_relation));
+    h = FnvMix(h, membership_.local_column);
+    h = FnvMix(h, membership_.member_column);
+  }
+  return h;
+}
 
 PreferencePtr Preference::Atomic(const std::string& relation,
                                  const std::string& key_column, Value key,
@@ -55,6 +78,7 @@ PreferencePtr Preference::Membership(std::string name, std::string relation,
       std::move(condition), std::move(scoring), confidence);
   pref->has_membership_ = true;
   pref->membership_ = std::move(membership);
+  pref->content_hash_ = pref->ComputeContentHash();
   return pref;
 }
 

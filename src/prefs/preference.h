@@ -93,10 +93,20 @@ class Preference {
   /// All columns referenced by the condition or scoring parts.
   std::vector<std::string> ReferencedColumns() const;
 
+  /// A stable hash of the preference's *content*: target relations,
+  /// conditional part, scoring part, confidence and membership spec — but
+  /// not the name, so a renamed (or anonymous re-stated) preference keeps
+  /// its identity. This is what the query cache keys on: editing one
+  /// preference of a profile changes only its own hash, so only cache
+  /// entries depending on the edited preference are invalidated.
+  uint64_t ContentHash() const { return content_hash_; }
+
   /// Renders "p[GENRES] = (genre = 'Comedy', 1.0, 0.8)".
   std::string ToString() const;
 
  private:
+  uint64_t ComputeContentHash() const;
+
   std::string name_;
   std::vector<std::string> relations_;
   ExprPtr condition_;
@@ -104,6 +114,7 @@ class Preference {
   double confidence_;
   bool has_membership_ = false;
   MembershipSpec membership_;
+  uint64_t content_hash_ = 0;
 };
 
 }  // namespace prefdb

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "prefs/preference.h"
 
 namespace prefdb {
@@ -36,6 +37,31 @@ class Profile {
   /// (table names or aliases, compared case-insensitively).
   std::vector<PreferencePtr> Relevant(
       const std::vector<std::string>& query_relations) const;
+
+  /// Content hashes of the profile's preferences, index-aligned with
+  /// preferences(). Cache keys embed only the hashes of the preferences a
+  /// query actually uses (via the prefer operators injected into its plan),
+  /// so editing one preference invalidates exactly the entries that depend
+  /// on it — the other entries keep hitting.
+  std::vector<uint64_t> PreferenceHashes() const {
+    std::vector<uint64_t> hashes;
+    hashes.reserve(preferences_.size());
+    for (const PreferencePtr& p : preferences_) {
+      hashes.push_back(p->ContentHash());
+    }
+    return hashes;
+  }
+
+  /// A combined fingerprint of the whole profile (order-sensitive, name
+  /// excluded per Preference::ContentHash) — a cheap change detector for
+  /// callers that cache per-profile artifacts wholesale.
+  uint64_t Fingerprint() const {
+    uint64_t h = kFnvOffsetBasis;
+    for (const PreferencePtr& p : preferences_) {
+      h = FnvMix(h, p->ContentHash());
+    }
+    return h;
+  }
 
   /// Renders the profile for display.
   std::string ToString() const;

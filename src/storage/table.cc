@@ -1,11 +1,19 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_set>
 
 #include "common/string_util.h"
 
 namespace prefdb {
+
+uint64_t Table::NextVersion() {
+  // Process-wide, so versions stay unique across engines sharing a cache
+  // test process and across the temp-table churn of concurrent GBU regions.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 StatusOr<std::unique_ptr<Table>> Table::Create(std::string name, Schema schema,
                                                std::vector<Tuple> rows,

@@ -42,6 +42,21 @@ class Table {
       std::vector<std::string> primary_key, bool qualify_with_name = true);
 
   const std::string& name() const { return name_; }
+
+  /// A process-unique version stamp assigned at creation. Re-loading or
+  /// re-creating a table (including registering a temp under a recycled
+  /// name) always yields a fresh version, so any cache fingerprint that
+  /// embedded the old version can never match again — the invalidation
+  /// protocol of the preference-aware query cache (src/cache).
+  uint64_t version() const { return version_; }
+
+  /// Marks the table as a strategy-registered temporary (GBU region
+  /// inputs). The result cache refuses to key plans that reference
+  /// temporaries: their names/versions are unique per region evaluation,
+  /// so entries could never hit again and would only pollute the budget.
+  void MarkTemporary() { temporary_ = true; }
+  bool temporary() const { return temporary_; }
+
   const Relation& relation() const { return relation_; }
   const Schema& schema() const { return relation_.schema(); }
   size_t NumRows() const { return relation_.NumRows(); }
@@ -64,9 +79,15 @@ class Table {
 
  private:
   Table(std::string name, Relation relation)
-      : name_(std::move(name)), relation_(std::move(relation)) {}
+      : name_(std::move(name)),
+        version_(NextVersion()),
+        relation_(std::move(relation)) {}
+
+  static uint64_t NextVersion();
 
   std::string name_;
+  uint64_t version_;
+  bool temporary_ = false;
   Relation relation_;
   /// Guards the lazily built indexes and statistics — the only mutable
   /// state of an otherwise read-only table. Entries are heap-allocated so

@@ -1,0 +1,565 @@
+// The preference-aware query cache (src/cache): plan/preference
+// fingerprinting, the sharded LRU with its byte budget, version-based
+// invalidation on catalog mutation, the SET CACHE pragma, and — the
+// correctness contract — that warm (cached) executions are bit-identical
+// to cold ones, counters included, for every strategy.
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "cache/fingerprint.h"
+#include "cache/query_cache.h"
+#include "exec/runner.h"
+#include "expr/expr_builder.h"
+#include "gtest/gtest.h"
+#include "parser/parser.h"
+#include "plan/plan.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using cache::CacheKey;
+using cache::CachedResult;
+using cache::FingerprintPlan;
+using cache::PlanFingerprint;
+using cache::QueryCache;
+using testing_util::I;
+using testing_util::MakeMovieCatalog;
+
+// ---------------------------------------------------------------------------
+// Fingerprinting.
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest() : catalog_(MakeMovieCatalog()) {}
+  Catalog catalog_;
+};
+
+TEST_F(FingerprintTest, StableAcrossCalls) {
+  PlanPtr plan = plan::Select(eb::Ge(eb::Col("year"), eb::Lit(int64_t{2005})),
+                              plan::Scan("MOVIES"));
+  auto a = FingerprintPlan(*plan, catalog_);
+  auto b = FingerprintPlan(*plan, catalog_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(a->cacheable);
+  EXPECT_EQ(a->key, b->key);
+}
+
+TEST_F(FingerprintTest, SensitiveToPlanDetails) {
+  PlanPtr base = plan::Select(eb::Ge(eb::Col("year"), eb::Lit(int64_t{2005})),
+                              plan::Scan("MOVIES"));
+  PlanPtr other_pred = plan::Select(
+      eb::Ge(eb::Col("year"), eb::Lit(int64_t{2006})), plan::Scan("MOVIES"));
+  PlanPtr other_table = plan::Select(
+      eb::Ge(eb::Col("year"), eb::Lit(int64_t{2005})), plan::Scan("GENRES"));
+  PlanPtr bare = plan::Scan("MOVIES");
+  auto k_base = FingerprintPlan(*base, catalog_);
+  auto k_pred = FingerprintPlan(*other_pred, catalog_);
+  auto k_table = FingerprintPlan(*other_table, catalog_);
+  auto k_bare = FingerprintPlan(*bare, catalog_);
+  ASSERT_TRUE(k_base.ok() && k_pred.ok() && k_table.ok() && k_bare.ok());
+  EXPECT_NE(k_base->key, k_pred->key);
+  EXPECT_NE(k_base->key, k_table->key);
+  EXPECT_NE(k_base->key, k_bare->key);
+  // The seed (native-optimizer toggle) separates physical spaces.
+  auto k_seeded = FingerprintPlan(*base, catalog_, /*seed=*/1);
+  ASSERT_TRUE(k_seeded.ok());
+  EXPECT_NE(k_base->key, k_seeded->key);
+}
+
+TEST_F(FingerprintTest, TableVersionInvalidates) {
+  PlanPtr plan = plan::Scan("MOVIES");
+  auto before = FingerprintPlan(*plan, catalog_);
+  ASSERT_TRUE(before.ok());
+
+  // Re-create MOVIES with identical contents: a fresh version stamp, so the
+  // old fingerprint can never match again.
+  auto table = catalog_.GetTable("MOVIES");
+  ASSERT_TRUE(table.ok());
+  Schema schema = (*table)->schema();
+  std::vector<Tuple> rows = (*table)->relation().rows();
+  catalog_.DropTable("MOVIES");
+  auto rebuilt = Table::Create("MOVIES", schema, std::move(rows), {"m_id"});
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_TRUE(catalog_.AddTable(std::move(*rebuilt)).ok());
+
+  auto after = FingerprintPlan(*plan, catalog_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->key, after->key);
+}
+
+TEST_F(FingerprintTest, TemporaryTablesAreNotCacheable) {
+  auto table = catalog_.GetTable("MOVIES");
+  ASSERT_TRUE(table.ok());
+  auto temp = Table::Create("__tmp_probe", (*table)->schema(),
+                            (*table)->relation().rows(), {"m_id"},
+                            /*qualify_with_name=*/false);
+  ASSERT_TRUE(temp.ok());
+  (*temp)->MarkTemporary();
+  ASSERT_TRUE(catalog_.AddTable(std::move(*temp)).ok());
+
+  PlanPtr plan = plan::Scan("__tmp_probe");
+  auto fp = FingerprintPlan(*plan, catalog_);
+  ASSERT_TRUE(fp.ok());
+  EXPECT_FALSE(fp->cacheable);
+}
+
+TEST_F(FingerprintTest, UnknownTableFails) {
+  PlanPtr plan = plan::Scan("NO_SUCH_TABLE");
+  EXPECT_FALSE(FingerprintPlan(*plan, catalog_).ok());
+}
+
+TEST(PreferenceHashTest, ContentHashIgnoresNameTracksContent) {
+  auto mk = [](const char* name, int64_t year, double conf) {
+    return Preference::Generic(
+        name, "MOVIES", eb::Ge(eb::Col("year"), eb::Lit(year)),
+        ScoringFunction::Constant(1.0), conf);
+  };
+  PreferencePtr a = mk("p1", 2005, 0.9);
+  PreferencePtr renamed = mk("p2", 2005, 0.9);
+  PreferencePtr edited = mk("p1", 2006, 0.9);
+  PreferencePtr reweighted = mk("p1", 2005, 0.8);
+  EXPECT_EQ(a->ContentHash(), renamed->ContentHash());
+  EXPECT_NE(a->ContentHash(), edited->ContentHash());
+  EXPECT_NE(a->ContentHash(), reweighted->ContentHash());
+}
+
+TEST(PreferenceHashTest, MembershipSpecIsHashed) {
+  PreferencePtr plain = Preference::Generic(
+      "p", "MOVIES", eb::True(), ScoringFunction::Constant(1.0), 0.9);
+  PreferencePtr member = Preference::Membership(
+      "p", "MOVIES", MembershipSpec{"AWARDS", "m_id", "m_id"}, eb::True(),
+      ScoringFunction::Constant(1.0), 0.9);
+  EXPECT_NE(plain->ContentHash(), member->ContentHash());
+}
+
+TEST_F(FingerprintTest, PreferNodeTracksPreferenceContent) {
+  auto mk_plan = [](PreferencePtr pref) {
+    return plan::Prefer(std::move(pref), plan::Scan("MOVIES"));
+  };
+  PlanPtr a = mk_plan(Preference::Generic(
+      "p1", "MOVIES", eb::Ge(eb::Col("year"), eb::Lit(int64_t{2005})),
+      ScoringFunction::Constant(1.0), 0.9));
+  PlanPtr renamed = mk_plan(Preference::Generic(
+      "p9", "MOVIES", eb::Ge(eb::Col("year"), eb::Lit(int64_t{2005})),
+      ScoringFunction::Constant(1.0), 0.9));
+  PlanPtr edited = mk_plan(Preference::Generic(
+      "p1", "MOVIES", eb::Ge(eb::Col("year"), eb::Lit(int64_t{2006})),
+      ScoringFunction::Constant(1.0), 0.9));
+  auto k_a = FingerprintPlan(*a, catalog_);
+  auto k_renamed = FingerprintPlan(*renamed, catalog_);
+  auto k_edited = FingerprintPlan(*edited, catalog_);
+  ASSERT_TRUE(k_a.ok() && k_renamed.ok() && k_edited.ok());
+  EXPECT_EQ(k_a->key, k_renamed->key);
+  EXPECT_NE(k_a->key, k_edited->key);
+}
+
+// ---------------------------------------------------------------------------
+// The sharded LRU store.
+
+// Keys with lo == 0 hash to `hi`, so hi = shard + 8*i pins them to a shard —
+// which makes per-shard LRU order and budgets deterministic to test.
+CacheKey ShardKey(size_t shard, uint64_t i) {
+  return CacheKey{shard + 8 * i, 0};
+}
+
+std::shared_ptr<CachedResult> EntryOfBytes(size_t bytes) {
+  auto entry = std::make_shared<CachedResult>();
+  entry->bytes = bytes;
+  return entry;
+}
+
+TEST(QueryCacheTest, DisabledByDefault) {
+  Engine engine{MakeMovieCatalog()};
+  EXPECT_FALSE(engine.cache()->enabled());
+}
+
+TEST(QueryCacheTest, LruEvictionOrder) {
+  QueryCache cache(nullptr, /*max_bytes=*/8 * 1000);  // 1000 bytes per shard.
+  cache.set_enabled(true);
+  CacheKey k1 = ShardKey(0, 1), k2 = ShardKey(0, 2), k3 = ShardKey(0, 3);
+  cache.Insert(k1, EntryOfBytes(400));
+  cache.Insert(k2, EntryOfBytes(400));
+  // Touch k1 so k2 becomes the eviction victim.
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  cache.Insert(k3, EntryOfBytes(400));  // 1200 > 1000: evicts LRU = k2.
+  EXPECT_NE(cache.Lookup(k1), nullptr);
+  EXPECT_EQ(cache.Lookup(k2), nullptr);
+  EXPECT_NE(cache.Lookup(k3), nullptr);
+  QueryCache::Stats stats = cache.snapshot();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, 800u);
+}
+
+TEST(QueryCacheTest, ByteBudgetRejectsOversizeAndShrinksOnLimit) {
+  QueryCache cache(nullptr, /*max_bytes=*/8 * 1000);
+  cache.set_enabled(true);
+  // An entry larger than a whole shard budget is not stored at all.
+  cache.Insert(ShardKey(0, 1), EntryOfBytes(5000));
+  EXPECT_EQ(cache.Lookup(ShardKey(0, 1)), nullptr);
+  EXPECT_EQ(cache.snapshot().entries, 0u);
+
+  cache.Insert(ShardKey(0, 2), EntryOfBytes(400));
+  cache.Insert(ShardKey(0, 3), EntryOfBytes(400));
+  EXPECT_EQ(cache.snapshot().entries, 2u);
+  // Shrinking the budget evicts immediately.
+  cache.set_max_bytes(8 * 500);
+  EXPECT_EQ(cache.snapshot().entries, 1u);
+  // Clear drops everything.
+  cache.Clear();
+  EXPECT_EQ(cache.snapshot().entries, 0u);
+  EXPECT_EQ(cache.snapshot().bytes, 0u);
+}
+
+TEST(QueryCacheTest, PinnedEntriesSurviveEviction) {
+  QueryCache cache(nullptr, /*max_bytes=*/8 * 1000);
+  cache.set_enabled(true);
+  auto stored = std::make_shared<CachedResult>();
+  stored->bytes = 600;
+  cache.Insert(ShardKey(0, 1), stored);
+  // A reader holds the entry while it gets evicted by a newer insert.
+  std::shared_ptr<const CachedResult> pinned = cache.Lookup(ShardKey(0, 1));
+  ASSERT_NE(pinned, nullptr);
+  cache.Insert(ShardKey(0, 2), EntryOfBytes(600));
+  EXPECT_EQ(cache.Lookup(ShardKey(0, 1)), nullptr);
+  // The pinned snapshot is still fully usable.
+  EXPECT_EQ(pinned->bytes, 600u);
+  EXPECT_EQ(pinned->rel.NumRows(), 0u);
+}
+
+TEST(QueryCacheTest, HitMissCounters) {
+  QueryCache cache(nullptr);
+  cache.set_enabled(true);
+  CacheKey k = ShardKey(3, 7);
+  EXPECT_EQ(cache.Lookup(k), nullptr);
+  cache.Insert(k, EntryOfBytes(10));
+  EXPECT_NE(cache.Lookup(k), nullptr);
+  QueryCache::Stats stats = cache.snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// SET CACHE pragma and engine integration.
+
+const char* kPreferringQuery =
+    "SELECT title, year FROM MOVIES "
+    "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 RANKED";
+
+TEST(CachePragmaTest, OnOffClearLimit) {
+  Session session(MakeMovieCatalog());
+  EXPECT_FALSE(session.engine().cache()->enabled());
+
+  auto on = session.Query("SET CACHE ON");
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_EQ(on->executed_plan, "SET CACHE ON");
+  EXPECT_TRUE(session.engine().cache()->enabled());
+
+  auto limit = session.Query("SET CACHE LIMIT 1048576");
+  ASSERT_TRUE(limit.ok());
+  EXPECT_EQ(session.engine().cache()->max_bytes(), 1048576u);
+
+  // Populate, then CLEAR empties it.
+  ASSERT_TRUE(session.Query(kPreferringQuery).ok());
+  EXPECT_GT(session.engine().cache()->snapshot().entries, 0u);
+  auto clear = session.Query("SET CACHE CLEAR");
+  ASSERT_TRUE(clear.ok());
+  EXPECT_EQ(session.engine().cache()->snapshot().entries, 0u);
+
+  auto off = session.Query("SET CACHE OFF");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(session.engine().cache()->enabled());
+
+  EXPECT_FALSE(session.Query("SET CACHE SIDEWAYS").ok());
+  EXPECT_FALSE(session.Query("SET CACHE ON EXTRA").ok());
+}
+
+TEST(CachePragmaTest, PerQueryOverride) {
+  Session session(MakeMovieCatalog());
+  QueryOptions cached;
+  cached.cache = true;
+  ASSERT_TRUE(session.Query(kPreferringQuery, cached).ok());
+  EXPECT_GT(session.engine().cache()->snapshot().entries, 0u);
+  // The engine-wide switch is restored afterwards.
+  EXPECT_FALSE(session.engine().cache()->enabled());
+
+  // And the reverse: override off while the session cache is on.
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+  QueryCache::Stats before = session.engine().cache()->snapshot();
+  QueryOptions uncached;
+  uncached.cache = false;
+  ASSERT_TRUE(session.Query(kPreferringQuery, uncached).ok());
+  QueryCache::Stats after = session.engine().cache()->snapshot();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_TRUE(session.engine().cache()->enabled());
+}
+
+// Warm repeats must be bit-identical to the cold run: same rows in the same
+// order (exact Value equality, doubles included) and the same counters —
+// the cache replays the miss execution's ExecStats delta on every hit.
+TEST(CacheEquivalenceTest, WarmRepeatBitIdenticalForEveryStrategy) {
+  const StrategyKind kStrategies[] = {
+      StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+      StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined};
+  for (StrategyKind kind : kStrategies) {
+    Session session(MakeMovieCatalog());
+    ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+    QueryOptions options;
+    options.strategy = kind;
+    auto cold = session.Query(kPreferringQuery, options);
+    ASSERT_TRUE(cold.ok()) << StrategyKindName(kind) << ": "
+                           << cold.status().ToString();
+    QueryCache::Stats cold_stats = session.engine().cache()->snapshot();
+    auto warm = session.Query(kPreferringQuery, options);
+    ASSERT_TRUE(warm.ok()) << StrategyKindName(kind);
+    QueryCache::Stats warm_stats = session.engine().cache()->snapshot();
+
+    EXPECT_EQ(warm->relation.schema(), cold->relation.schema())
+        << StrategyKindName(kind);
+    EXPECT_EQ(warm->relation.rows(), cold->relation.rows())
+        << StrategyKindName(kind) << ": warm rows differ from cold";
+    EXPECT_EQ(warm->stats.engine_queries, cold->stats.engine_queries)
+        << StrategyKindName(kind);
+    EXPECT_EQ(warm->stats.tuples_materialized, cold->stats.tuples_materialized)
+        << StrategyKindName(kind);
+    EXPECT_EQ(warm->stats.rows_scanned, cold->stats.rows_scanned)
+        << StrategyKindName(kind);
+    EXPECT_EQ(warm->stats.score_entries_written,
+              cold->stats.score_entries_written)
+        << StrategyKindName(kind);
+    EXPECT_GT(warm_stats.hits, cold_stats.hits)
+        << StrategyKindName(kind) << ": warm run produced no cache hit";
+    EXPECT_EQ(warm_stats.insertions, cold_stats.insertions)
+        << StrategyKindName(kind) << ": warm run should insert nothing new";
+  }
+}
+
+// Prefer-under-set-operation: only BU and GBU evaluate these; GBU's region
+// queries reference per-execution temp tables and must bypass the cache,
+// while its prefer subtrees still hit.
+TEST(CacheEquivalenceTest, SetOpWarmRepeatBitIdentical) {
+  const char* kSetOpQuery =
+      "SELECT title, year FROM MOVIES WHERE year >= 2004 "
+      "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 "
+      "UNION "
+      "SELECT title, year FROM MOVIES WHERE duration <= 120 "
+      "PREFERRING (duration <= 120) SCORE 0.6 CONF 0.5 "
+      "RANKED";
+  for (StrategyKind kind : {StrategyKind::kBU, StrategyKind::kGBU}) {
+    Session session(MakeMovieCatalog());
+    ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+    QueryOptions options;
+    options.strategy = kind;
+    auto cold = session.Query(kSetOpQuery, options);
+    ASSERT_TRUE(cold.ok()) << StrategyKindName(kind) << ": "
+                           << cold.status().ToString();
+    auto warm = session.Query(kSetOpQuery, options);
+    ASSERT_TRUE(warm.ok()) << StrategyKindName(kind);
+    EXPECT_EQ(warm->relation.rows(), cold->relation.rows())
+        << StrategyKindName(kind);
+    EXPECT_EQ(warm->stats.engine_queries, cold->stats.engine_queries)
+        << StrategyKindName(kind);
+    EXPECT_EQ(warm->stats.score_entries_written,
+              cold->stats.score_entries_written)
+        << StrategyKindName(kind);
+    EXPECT_GT(session.engine().cache()->snapshot().hits, 0u)
+        << StrategyKindName(kind);
+  }
+}
+
+TEST(CacheEquivalenceTest, CatalogMutationInvalidates) {
+  Session session(MakeMovieCatalog());
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+  auto before = session.Query(kPreferringQuery);
+  ASSERT_TRUE(before.ok());
+  size_t rows_before = before->relation.NumRows();
+  ASSERT_GT(rows_before, 0u);
+
+  // Drop one movie and re-create the table: the fresh version stamp makes
+  // every cached fingerprint over MOVIES unmatchable.
+  Catalog* catalog = session.engine().mutable_catalog();
+  auto table = catalog->GetTable("MOVIES");
+  ASSERT_TRUE(table.ok());
+  Schema schema = (*table)->schema();
+  std::vector<Tuple> rows = (*table)->relation().rows();
+  rows.pop_back();
+  catalog->DropTable("MOVIES");
+  auto rebuilt = Table::Create("MOVIES", schema, std::move(rows), {"m_id"});
+  ASSERT_TRUE(rebuilt.ok());
+  ASSERT_TRUE(catalog->AddTable(std::move(*rebuilt)).ok());
+
+  auto after = session.Query(kPreferringQuery);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->relation.NumRows(), rows_before - 1)
+      << "stale cache entry served after catalog mutation";
+}
+
+// Editing one profile preference must invalidate only the cache entries
+// that depend on it: the non-preference query part and the other
+// preferences' rewrites keep hitting.
+TEST(CacheEquivalenceTest, ProfileEditInvalidatesSelectively) {
+  auto make_profile = [](int64_t year_cutoff) {
+    Profile profile("alice");
+    profile.Add(Preference::Generic(
+        "recent", "MOVIES",
+        eb::Ge(eb::Col("year"), eb::Lit(year_cutoff)),
+        ScoringFunction::Constant(1.0), 0.9));
+    profile.Add(Preference::Generic(
+        "comedy", "GENRES",
+        eb::Eq(eb::Col("genre"), eb::Lit("Comedy")),
+        ScoringFunction::Constant(0.8), 0.7));
+    return profile;
+  };
+  const char* kSql =
+      "SELECT title FROM MOVIES JOIN GENRES ON MOVIES.m_id = GENRES.m_id";
+
+  Session session(MakeMovieCatalog());
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+  QueryOptions options;
+  options.strategy = StrategyKind::kPlugInBasic;
+
+  Profile v1 = make_profile(2005);
+  ASSERT_TRUE(session.QueryPersonalized(kSql, v1, options).ok());
+  QueryCache::Stats cold = session.engine().cache()->snapshot();
+  ASSERT_GT(cold.insertions, 1u) << "expected Q_NP plus per-preference "
+                                    "rewrites in the cache";
+
+  // Unchanged profile: everything hits.
+  ASSERT_TRUE(session.QueryPersonalized(kSql, v1, options).ok());
+  QueryCache::Stats warm = session.engine().cache()->snapshot();
+  EXPECT_EQ(warm.misses, cold.misses);
+  EXPECT_EQ(warm.hits - cold.hits, cold.insertions);
+
+  // Edit the year preference only: its dependents miss, the rest hit.
+  Profile v2 = make_profile(2006);
+  ASSERT_TRUE(session.QueryPersonalized(kSql, v2, options).ok());
+  QueryCache::Stats edited = session.engine().cache()->snapshot();
+  uint64_t new_misses = edited.misses - warm.misses;
+  uint64_t new_hits = edited.hits - warm.hits;
+  EXPECT_GT(new_misses, 0u) << "edited preference still served from cache";
+  EXPECT_GT(new_hits, 0u) << "independent entries were invalidated too";
+  EXPECT_LT(new_misses, cold.insertions)
+      << "profile edit invalidated every entry, not just dependents";
+}
+
+TEST(CacheEquivalenceTest, ExplainAnalyzeAnnotatesHitsAndMisses) {
+  Session session(MakeMovieCatalog());
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+  std::string explain =
+      std::string("EXPLAIN ANALYZE ") + kPreferringQuery;
+  auto cold = session.Query(explain);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_NE(cold->explain_analyze.find("cache=miss"), std::string::npos)
+      << cold->explain_analyze;
+  auto warm = session.Query(explain);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NE(warm->explain_analyze.find("cache=hit"), std::string::npos)
+      << warm->explain_analyze;
+}
+
+TEST(CacheEquivalenceTest, MetricsRegistryExposesCacheCounters) {
+  Session session(MakeMovieCatalog());
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+  ASSERT_TRUE(session.Query(kPreferringQuery).ok());
+  ASSERT_TRUE(session.Query(kPreferringQuery).ok());
+  obs::MetricsRegistry& metrics = session.engine().metrics();
+  EXPECT_GT(metrics.counter("pref.cache.hits")->value(), 0u);
+  EXPECT_GT(metrics.counter("pref.cache.misses")->value(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: racing executions of the same and different plans against a
+// shared engine, with the cache enabled. Results must match the serial
+// answer, and every lookup must resolve to a hit or a miss (no lost
+// updates, no torn entries). Run under TSan via the `parallel` ctest label.
+
+TEST(CacheConcurrencyTest, ConcurrentHitsAndMissesAreSafe) {
+  Engine engine{MakeMovieCatalog()};
+  engine.cache()->set_enabled(true);
+
+  auto parsed = ParseQuery(
+      "SELECT title, year FROM MOVIES WHERE year >= 2004", engine.catalog());
+  ASSERT_TRUE(parsed.ok());
+  auto parsed2 = ParseQuery(
+      "SELECT title, year FROM MOVIES WHERE year <= 2008", engine.catalog());
+  ASSERT_TRUE(parsed2.ok());
+  const PlanNode* plans[] = {parsed->plan.get(), parsed2->plan.get()};
+
+  ExecStats serial_stats[2];
+  StatusOr<Relation> serial[] = {
+      engine.ExecuteConcurrent(*plans[0], &serial_stats[0]),
+      engine.ExecuteConcurrent(*plans[1], &serial_stats[1])};
+  ASSERT_TRUE(serial[0].ok() && serial[1].ok());
+  engine.cache()->Clear();  // Drops entries; hit/miss counters are cumulative.
+  QueryCache::Stats baseline = engine.cache()->snapshot();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 16;
+  std::vector<Status> failures(kThreads, Status::OK());
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        const int which = (t + round) % 2;
+        ExecStats stats;
+        StatusOr<Relation> result =
+            engine.ExecuteConcurrent(*plans[which], &stats);
+        if (!result.ok()) {
+          failures[t] = result.status();
+          return;
+        }
+        if (result->rows() != serial[which]->rows()) {
+          failures[t] = Status::Internal("rows diverged from serial answer");
+          return;
+        }
+        if (stats.engine_queries != serial_stats[which].engine_queries) {
+          failures[t] = Status::Internal("stats replay diverged");
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(failures[t].ok()) << "thread " << t << ": "
+                                  << failures[t].ToString();
+  }
+  QueryCache::Stats stats = engine.cache()->snapshot();
+  EXPECT_EQ((stats.hits - baseline.hits) + (stats.misses - baseline.misses),
+            static_cast<uint64_t>(kThreads * kRounds));
+  EXPECT_GT(stats.hits, baseline.hits);
+}
+
+TEST(CacheConcurrencyTest, ConcurrentInsertEvictChurnIsSafe) {
+  // A budget small enough that concurrent inserts continuously evict.
+  QueryCache cache(nullptr, /*max_bytes=*/8 * 256);
+  cache.set_enabled(true);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      for (uint64_t i = 0; i < 200; ++i) {
+        CacheKey key{(t * 1000 + i) % 37, i % 5};
+        cache.Insert(key, EntryOfBytes(64));
+        std::shared_ptr<const CachedResult> entry = cache.Lookup(key);
+        if (entry != nullptr && entry->bytes != 64) {
+          ADD_FAILURE() << "torn entry";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  QueryCache::Stats stats = cache.snapshot();
+  EXPECT_LE(stats.bytes, 8 * 256u);
+}
+
+}  // namespace
+}  // namespace prefdb

@@ -245,6 +245,123 @@ INSTANTIATE_TEST_SUITE_P(SetOps, SetOpParallelEquivalenceTest,
                          });
 
 // ---------------------------------------------------------------------------
+// Cold-vs-warm cache equivalence: with the result cache enabled, the first
+// (cold) and second (warm) execution of every workload query must return
+// exactly the rows and counters of a cache-off run — at every strategy and
+// at threads ∈ {1, 8} — while the warm run actually hits. The cache
+// replays the miss execution's ExecStats delta on hits, which is what makes
+// the counters indistinguishable.
+//
+// These use their own sessions (not the shared ones above): the trace
+// determinism checks there assume consecutive runs execute identically,
+// which a cache hit would break.
+
+Session* CacheSweepImdbSession() {
+  static Session* instance = [] {
+    ImdbOptions options;
+    options.scale = 0.0008;
+    options.seed = 7;
+    auto catalog = GenerateImdb(options);
+    EXPECT_TRUE(catalog.ok());
+    return new Session(std::move(*catalog));
+  }();
+  return instance;
+}
+
+Session* CacheSweepDblpSession() {
+  static Session* instance = [] {
+    DblpOptions options;
+    options.scale = 0.002;
+    options.seed = 11;
+    auto catalog = GenerateDblp(options);
+    EXPECT_TRUE(catalog.ok());
+    return new Session(std::move(*catalog));
+  }();
+  return instance;
+}
+
+class CacheColdWarmEquivalenceTest : public ParallelEquivalenceTest {
+ protected:
+  Session* sweep_session() const {
+    return GetParam().dataset == "imdb" ? CacheSweepImdbSession()
+                                        : CacheSweepDblpSession();
+  }
+};
+
+TEST_P(CacheColdWarmEquivalenceTest, SameRowsAndCountersColdAndWarm) {
+  const QuerySpec& spec = GetParam();
+  Session* s = sweep_session();
+  const StrategyKind kStrategies[] = {
+      StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+      StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined};
+  for (StrategyKind kind : kStrategies) {
+    for (size_t threads : {size_t{1}, size_t{8}}) {
+      // Entries stored at another thread count may order rows differently
+      // (same latitude the parallel contract grants); start each sweep cell
+      // cold so exact row comparison is meaningful.
+      ASSERT_TRUE(s->Query("SET CACHE CLEAR").ok());
+
+      QueryOptions options;
+      options.strategy = kind;
+      options.parallel = ForcedContext(threads);
+      options.cache = false;
+      auto off = s->Query(spec.sql, options);
+      ASSERT_TRUE(off.ok()) << StrategyKindName(kind) << " threads=" << threads
+                            << ": " << off.status().ToString() << "\n"
+                            << spec.sql;
+
+      options.cache = true;
+      auto cold = s->Query(spec.sql, options);
+      ASSERT_TRUE(cold.ok()) << StrategyKindName(kind)
+                             << " threads=" << threads;
+      uint64_t hits_before =
+          s->engine().metrics().counter("pref.cache.hits")->value();
+      auto warm = s->Query(spec.sql, options);
+      ASSERT_TRUE(warm.ok()) << StrategyKindName(kind)
+                             << " threads=" << threads;
+      uint64_t hits_after =
+          s->engine().metrics().counter("pref.cache.hits")->value();
+
+      for (const QueryResult* run : {&cold.value(), &warm.value()}) {
+        EXPECT_EQ(run->relation.schema(), off->relation.schema());
+        EXPECT_EQ(run->relation.rows(), off->relation.rows())
+            << StrategyKindName(kind) << " threads=" << threads
+            << ": cached rows differ from cache-off rows\n" << spec.sql;
+        EXPECT_EQ(run->stats.engine_queries, off->stats.engine_queries)
+            << StrategyKindName(kind) << " threads=" << threads;
+        EXPECT_EQ(run->stats.tuples_materialized,
+                  off->stats.tuples_materialized)
+            << StrategyKindName(kind) << " threads=" << threads;
+        EXPECT_EQ(run->stats.rows_scanned, off->stats.rows_scanned)
+            << StrategyKindName(kind) << " threads=" << threads;
+        EXPECT_EQ(run->stats.score_entries_written,
+                  off->stats.score_entries_written)
+            << StrategyKindName(kind) << " threads=" << threads;
+        EXPECT_EQ(run->stats.operator_invocations,
+                  off->stats.operator_invocations)
+            << StrategyKindName(kind) << " threads=" << threads;
+      }
+      EXPECT_GT(hits_after, hits_before)
+          << StrategyKindName(kind) << " threads=" << threads
+          << ": warm repeat produced no cache hit\n" << spec.sql;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CacheColdWarmEquivalenceTest,
+                         ::testing::ValuesIn(AllQueries()),
+                         [](const ::testing::TestParamInfo<QuerySpec>& info) {
+                           std::string name =
+                               info.param.dataset + "_" + info.param.name;
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+// ---------------------------------------------------------------------------
 // Concurrent GBU executions against one engine. Temp-table names come from
 // a process-wide atomic counter and every counter write is routed through a
 // caller-provided ExecStats, so independent executions — each with its own
