@@ -33,12 +33,14 @@ bool HandleCommand(const std::string& line, Session* session,
   }
   if (line == "\\tables") {
     for (const auto& name : session->engine().catalog().TableNames()) {
+      // TableNames() and GetTable() are separate catalog reads; a table
+      // could vanish in between (e.g. a concurrent session dropping a
+      // temp), so check instead of dereferencing blindly.
+      auto table = session->engine().catalog().GetTable(name);
+      if (!table.ok()) continue;
       std::printf("  %-12s %8zu rows   %s\n", name.c_str(),
-                  (*session->engine().catalog().GetTable(name))->NumRows(),
-                  (*session->engine().catalog().GetTable(name))
-                      ->schema()
-                      .ToString()
-                      .c_str());
+                  (*table)->NumRows(),
+                  (*table)->schema().ToString().c_str());
     }
     return true;
   }

@@ -1,25 +1,69 @@
 #!/usr/bin/env bash
-# One-command verification gate: the tier-1 build + full test suite,
-# chained with the ThreadSanitizer pass over the parallel-labeled tests
-# (scripts/run_tsan.sh). This is what a PR must keep green.
+# One-command verification gate — what a PR must keep green. Stages:
 #
-# Usage:  scripts/run_checks.sh [--no-tsan]
-#   --no-tsan   skip the sanitizer pass (fast local iteration)
+#   tier1   configure + build (-Werror=unused-result; on Clang also
+#           -Werror=thread-safety) + full ctest
+#   lint    prefdb_lint fixtures + clean-tree gate  (ctest -L lint)
+#   tidy    clang-tidy profile (.clang-tidy); skips when not installed
+#   asan    AddressSanitizer+UBSan build of the full suite  (build-asan)
+#   tsan    ThreadSanitizer pass over the parallel-labeled tests
+#           (scripts/run_tsan.sh, build-tsan)
+#
+# Every stage is on by default and individually skippable:
+#
+#   scripts/run_checks.sh [--no-tier1] [--no-lint] [--no-tidy]
+#                         [--no-asan] [--no-tsan]
+#
+# (--no-tsan alone reproduces the historical fast-iteration mode.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-RUN_TSAN=1
-if [ "${1:-}" = "--no-tsan" ]; then
-  RUN_TSAN=0
+RUN_TIER1=1 RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tier1) RUN_TIER1=0 ;;
+    --no-lint)  RUN_LINT=0 ;;
+    --no-tidy)  RUN_TIDY=0 ;;
+    --no-asan)  RUN_ASAN=0 ;;
+    --no-tsan)  RUN_TSAN=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$RUN_TIER1" -eq 1 ]; then
+  echo "== tier-1: configure + build =="
+  cmake -B build -S .
+  cmake --build build -j
+
+  echo "== tier-1: ctest =="
+  ctest --test-dir build --output-on-failure -j"$(nproc)"
 fi
 
-echo "== tier-1: configure + build =="
-cmake -B build -S .
-cmake --build build -j
+if [ "$RUN_LINT" -eq 1 ]; then
+  echo "== lint: prefdb_lint gate =="
+  # The lint stage needs only its own two targets; build them directly so
+  # --no-tier1 runs stay cheap.
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target prefdb_lint lint_test
+  ctest --test-dir build -L lint --output-on-failure
+fi
 
-echo "== tier-1: ctest =="
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+if [ "$RUN_TIDY" -eq 1 ]; then
+  echo "== tidy: clang-tidy profile =="
+  scripts/run_tidy.sh build
+fi
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+  echo "== asan: address+undefined build + full ctest =="
+  cmake -B build-asan -S . -DPREFDB_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build-asan -j
+  # detect_leaks also covers the temp-table and cache eviction paths.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
+    ctest --test-dir build-asan --output-on-failure -j"$(nproc)"
+fi
 
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "== tsan: parallel-labeled tests =="

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# clang-tidy pass over the engine and the linter, using the profile in
+# .clang-tidy and the compile database the tier-1 build exports
+# (build/compile_commands.json — CMAKE_EXPORT_COMPILE_COMMANDS is on by
+# default in the top-level CMakeLists).
+#
+# Skips gracefully (exit 0, loud message) when clang-tidy is not
+# installed, so run_checks.sh stays usable on GCC-only boxes; CI images
+# with LLVM get the full check.
+#
+# Usage:  scripts/run_tidy.sh [build-dir]     (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "run_tidy.sh: clang-tidy not found on PATH; skipping (install LLVM" \
+       "to enable this stage)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_tidy.sh: $BUILD_DIR/compile_commands.json missing; run the" \
+       "tier-1 configure first (cmake -B $BUILD_DIR -S .)" >&2
+  exit 2
+fi
+
+# run-clang-tidy parallelizes across translation units when available;
+# fall back to a serial loop otherwise.
+FILES="$(find src tools -name '*.cc' | sort)"
+RUNNER="$(command -v run-clang-tidy || true)"
+if [ -n "$RUNNER" ]; then
+  # shellcheck disable=SC2086  # word-splitting the file list is intended.
+  "$RUNNER" -p "$BUILD_DIR" -quiet $FILES
+else
+  status=0
+  for f in $FILES; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+  done
+  exit "$status"
+fi

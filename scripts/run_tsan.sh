@@ -14,8 +14,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 if [ "$#" -ge 1 ]; then shift; fi
 
-cmake -B "$BUILD_DIR" -S . -DPREFDB_SANITIZE=thread \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+# Reuse an already-configured build tree: re-running cmake on every
+# invocation re-evaluates the toolchain for no benefit, and run_checks.sh
+# calls this after a full matrix. The configure only happens on first use
+# (or after `rm -rf build-tsan`).
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+  cmake -B "$BUILD_DIR" -S . -DPREFDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test parallel_equivalence_test obs_test cache_test
 

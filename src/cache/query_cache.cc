@@ -53,7 +53,7 @@ void QueryCache::set_max_bytes(size_t max_bytes) {
   max_bytes_.store(max_bytes, std::memory_order_relaxed);
   size_t budget = ShardBudget();
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     EvictLocked(&shard, budget);
   }
   PublishGauges();
@@ -61,7 +61,7 @@ void QueryCache::set_max_bytes(size_t max_bytes) {
 
 void QueryCache::Clear() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     entry_count_.fetch_sub(shard.index.size(), std::memory_order_relaxed);
     total_bytes_.fetch_sub(shard.bytes, std::memory_order_relaxed);
     shard.index.clear();
@@ -75,7 +75,7 @@ std::shared_ptr<const CachedResult> QueryCache::Lookup(const CacheKey& key) {
   Shard& shard = ShardFor(key);
   std::shared_ptr<const CachedResult> result;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
@@ -106,7 +106,7 @@ void QueryCache::Insert(const CacheKey& key,
 
   Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
       // Replace in place (a concurrent miss on the same key raced us here;

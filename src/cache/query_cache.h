@@ -5,12 +5,13 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "cache/fingerprint.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/exec_stats.h"
 #include "obs/metrics.h"
 #include "palgebra/score_relation.h"
@@ -80,8 +81,9 @@ class QueryCache {
 
   /// The entry under `key`, or null on miss. A hit refreshes LRU recency.
   /// Counts a hit/miss either way — call only when actually consulting the
-  /// cache, not to peek.
-  std::shared_ptr<const CachedResult> Lookup(const CacheKey& key);
+  /// cache, not to peek. Discarding the result throws the hit away and
+  /// still skews the hit/miss counters, hence [[nodiscard]].
+  [[nodiscard]] std::shared_ptr<const CachedResult> Lookup(const CacheKey& key);
 
   /// Stores `value` under `key` (replacing any existing entry), computing
   /// value->bytes if unset, then evicts LRU-last until the shard fits its
@@ -106,19 +108,21 @@ class QueryCache {
   static constexpr size_t kShards = 8;
 
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     // Front = most recently used. The index maps key -> list position.
-    std::list<std::pair<CacheKey, std::shared_ptr<const CachedResult>>> lru;
-    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index;
-    size_t bytes = 0;
+    std::list<std::pair<CacheKey, std::shared_ptr<const CachedResult>>> lru
+        PREFDB_GUARDED_BY(mu);
+    std::unordered_map<CacheKey, decltype(lru)::iterator, CacheKeyHash> index
+        PREFDB_GUARDED_BY(mu);
+    size_t bytes PREFDB_GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(const CacheKey& key) {
     return shards_[CacheKeyHash()(key) % kShards];
   }
   size_t ShardBudget() const { return max_bytes() / kShards; }
-  // Pops LRU-last entries until `shard` fits `budget`. Caller holds mu.
-  void EvictLocked(Shard* shard, size_t budget);
+  // Pops LRU-last entries until `shard` fits `budget`.
+  void EvictLocked(Shard* shard, size_t budget) PREFDB_REQUIRES(shard->mu);
   void PublishGauges();
 
   std::atomic<bool> enabled_{false};

@@ -1,0 +1,82 @@
+#ifndef PREFDB_COMMON_MUTEX_H_
+#define PREFDB_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace prefdb {
+
+/// An annotated wrapper over std::mutex — the capability type Clang's
+/// thread-safety analysis tracks. Standard-library mutexes carry no
+/// attributes under libstdc++, so locking through std::lock_guard is
+/// invisible to the analysis; all guarded state in the codebase locks
+/// through this type instead (enforced by tools/prefdb_lint).
+///
+/// Also satisfies Lockable (lock/unlock/try_lock), so std adapters still
+/// work where needed — but prefer MutexLock, which the analysis understands.
+class PREFDB_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PREFDB_ACQUIRE() { mu_.lock(); }
+  void Unlock() PREFDB_RELEASE() { mu_.unlock(); }
+  bool TryLock() PREFDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // Lockable, for std adapters (scoped_lock in Catalog's move assignment).
+  void lock() PREFDB_ACQUIRE() { mu_.lock(); }
+  void unlock() PREFDB_RELEASE() { mu_.unlock(); }
+  bool try_lock() PREFDB_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // lint:allow(mutex-guarded-by) the wrapper IS the guard.
+};
+
+/// RAII lock for Mutex — std::lock_guard with scoped-capability
+/// annotations, so the analysis knows the mutex is held for the scope.
+class PREFDB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) PREFDB_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() PREFDB_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() atomically releases and
+/// re-acquires the mutex like std::condition_variable, but the caller-facing
+/// contract — the mutex is held before and after — is what the analysis
+/// checks, so Wait() is annotated PREFDB_REQUIRES(mu). Callers re-test their
+/// predicate in a `while` loop around Wait(), which keeps the guarded reads
+/// inside the analyzed critical section (no opaque predicate lambdas).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). `mu` must be held; it is
+  /// released while blocked and re-acquired before returning.
+  void Wait(Mutex* mu) PREFDB_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace prefdb
+
+#endif  // PREFDB_COMMON_MUTEX_H_

@@ -32,7 +32,13 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 ///   Status DoThing();
 ///   RETURN_IF_ERROR(DoThing());
-class Status {
+///
+/// The class is [[nodiscard]]: a call site that drops a returned Status on
+/// the floor is a compile-time warning (promoted to an error by
+/// -Werror=unused-result in the default build), so errors cannot be
+/// silently ignored. Deliberate discards must say so with a (void) cast
+/// and a comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -74,8 +80,9 @@ class Status {
 
 /// A value-or-error result. Holds either a `T` (when `ok()`) or an error
 /// Status. Accessing the value of an error result aborts in debug builds.
+/// [[nodiscard]] like Status: dropping a StatusOr loses the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value; this is the intended ergonomic use
   /// (`return some_value;` from a StatusOr-returning function).

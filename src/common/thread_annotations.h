@@ -1,0 +1,81 @@
+#ifndef PREFDB_COMMON_THREAD_ANNOTATIONS_H_
+#define PREFDB_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis attribute macros (no-ops on GCC and MSVC).
+///
+/// Every lock-protected field in the codebase carries a PREFDB_GUARDED_BY
+/// annotation and every function with a locking precondition a
+/// PREFDB_REQUIRES, so a Clang build with -DPREFDB_WERROR_THREAD_SAFETY=ON
+/// (the default when the compiler is Clang) proves at compile time that no
+/// guarded state is touched without its mutex — the static complement to
+/// the TSan pass in scripts/run_tsan.sh, which only covers executed paths.
+///
+/// The analysis is attribute-driven, so it only understands lock
+/// acquisitions performed through annotated types: use prefdb::Mutex /
+/// prefdb::MutexLock / prefdb::CondVar (common/mutex.h) instead of naked
+/// std::mutex / std::lock_guard in code that owns guarded state
+/// (tools/prefdb_lint enforces the GUARDED_BY side of this contract).
+///
+/// Conventions (see DESIGN.md §11 for the full recipe):
+///   - fields:        T x_ PREFDB_GUARDED_BY(mu_);
+///   - pointed-to:    T* x_ PREFDB_PT_GUARDED_BY(mu_);
+///   - private locked helpers:   void F() PREFDB_REQUIRES(mu_);
+///   - lock-taking functions:    void F() PREFDB_EXCLUDES(mu_);
+///   - deliberate escapes get PREFDB_NO_THREAD_SAFETY_ANALYSIS plus a
+///     comment stating why the analysis cannot express the protocol.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define PREFDB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PREFDB_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define PREFDB_CAPABILITY(x) PREFDB_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define PREFDB_SCOPED_CAPABILITY PREFDB_THREAD_ANNOTATION(scoped_lockable)
+
+/// The field is protected by the given mutex; reads and writes require it.
+#define PREFDB_GUARDED_BY(x) PREFDB_THREAD_ANNOTATION(guarded_by(x))
+
+/// The data pointed to by the field is protected by the given mutex.
+#define PREFDB_PT_GUARDED_BY(x) PREFDB_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function must be called with the given mutex(es) held.
+#define PREFDB_REQUIRES(...) \
+  PREFDB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function must be called with the given mutex(es) held for reading.
+#define PREFDB_REQUIRES_SHARED(...) \
+  PREFDB_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the given mutex(es) and does not release them.
+#define PREFDB_ACQUIRE(...) \
+  PREFDB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the given mutex(es).
+#define PREFDB_RELEASE(...) \
+  PREFDB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function acquires the mutex(es) iff it returns the given value.
+#define PREFDB_TRY_ACQUIRE(...) \
+  PREFDB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The function must be called *without* the given mutex(es) held (it will
+/// acquire them itself); catches self-deadlock at compile time.
+#define PREFDB_EXCLUDES(...) \
+  PREFDB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns the mutex guarding this object (for annotating accessors).
+#define PREFDB_RETURN_CAPABILITY(x) \
+  PREFDB_THREAD_ANNOTATION(lock_returned(x))
+
+/// Opts a function out of the analysis. Use sparingly, with a comment
+/// explaining which protocol the analysis cannot express (e.g. the
+/// address-ordered double lock of Catalog's move assignment).
+#define PREFDB_NO_THREAD_SAFETY_ANALYSIS \
+  PREFDB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // PREFDB_COMMON_THREAD_ANNOTATIONS_H_

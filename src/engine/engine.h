@@ -35,6 +35,19 @@ class Engine {
   const Catalog& catalog() const { return catalog_; }
   Catalog* mutable_catalog() { return &catalog_; }
 
+  /// Registers a strategy-built temporary table (GBU region inputs),
+  /// marking it temporary so the result cache refuses to key plans that
+  /// reference it. This is the only sanctioned catalog mutation during
+  /// execution — tools/prefdb_lint rejects direct mutable_catalog() use
+  /// outside src/engine, so every runtime mutation funnels through here.
+  Status RegisterTempTable(std::unique_ptr<Table> table) {
+    table->MarkTemporary();
+    return catalog_.AddTable(std::move(table));
+  }
+
+  /// Drops a temporary registered with RegisterTempTable. No-op if absent.
+  void DropTempTable(const std::string& name) { catalog_.DropTable(name); }
+
   /// Optimizes and executes a conventional plan; counts one engine query.
   /// Fails if the plan contains prefer operators.
   StatusOr<Relation> Execute(const PlanNode& query);

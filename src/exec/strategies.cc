@@ -614,7 +614,7 @@ class TempTableGuard {
 
   ~TempTableGuard() {
     for (const std::string& name : names_) {
-      engine_->mutable_catalog()->DropTable(name);
+      engine_->DropTempTable(name);
     }
   }
 
@@ -863,9 +863,9 @@ class GBUStrategy final : public Strategy {
         Table::Create(name, sub.rel.schema(), std::move(*sub.rel.mutable_rows()),
                       temp.key_column_names, /*qualify_with_name=*/false));
     // Plans referencing this table (the region query) must never enter the
-    // result cache: the name and version are unique to this evaluation.
-    table->MarkTemporary();
-    RETURN_IF_ERROR(engine->mutable_catalog()->AddTable(std::move(table)));
+    // result cache: the name and version are unique to this evaluation —
+    // RegisterTempTable marks it temporary for exactly that reason.
+    RETURN_IF_ERROR(engine->RegisterTempTable(std::move(table)));
     guard->Track(name);
     temps->push_back(std::move(temp));
     return plan::Scan(name, name);
@@ -947,9 +947,12 @@ class PlugInStrategy final : public Strategy {
     PlanPtr q_np = StripPrefers(plan);
     std::vector<PreferencePtr> prefs = CollectPrefers(plan);
 
-    // Materialize the full (non-preference) answer.
+    // Materialize the full (non-preference) answer. The span is passed
+    // through so the Q_NP query carries its cache=hit/miss annotation in
+    // EXPLAIN ANALYZE, like every other delegated query.
     obs::SpanScope q_scope(s, "EngineQuery[Q_NP]");
-    ASSIGN_OR_RETURN(Relation r_np, engine->ExecuteConcurrent(*q_np, stats));
+    ASSIGN_OR_RETURN(Relation r_np,
+                     engine->ExecuteConcurrent(*q_np, stats, q_scope.get()));
     obs::SetRowsOut(q_scope.get(), r_np.NumRows());
     q_scope.Finish();
     PRelation result(std::move(r_np));

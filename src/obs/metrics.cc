@@ -85,7 +85,7 @@ std::string Histogram::ToString() const {
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Counter>& slot = counters_[std::string(name)];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return slot.get();
@@ -93,7 +93,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 
 Histogram* MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::unique_ptr<Histogram>& slot = histograms_[std::string(name)];
   if (slot == nullptr) {
     if (upper_bounds.empty()) {
@@ -105,12 +105,12 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
 }
 
 void MetricsRegistry::SetGauge(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   gauges_[std::string(name)] = value;
 }
 
 std::string MetricsRegistry::ToString() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrFormat("%s = %llu\n", name.c_str(),
@@ -126,7 +126,7 @@ std::string MetricsRegistry::ToString() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {

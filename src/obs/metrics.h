@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prefdb {
 namespace obs {
@@ -107,10 +109,14 @@ class MetricsRegistry {
   static MetricsRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, double> gauges_;
+  mutable Mutex mu_;
+  // The maps are guarded; the Counter/Histogram objects they point to are
+  // internally atomic and accessed lock-free through stable pointers.
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PREFDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PREFDB_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ PREFDB_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

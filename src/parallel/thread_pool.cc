@@ -27,30 +27,30 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queues_[next_queue_].push_back(
         {std::move(task), std::chrono::steady_clock::now()});
     next_queue_ = (next_queue_ + 1) % queues_.size();
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 size_t ThreadPool::steal_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return steal_count_;
 }
 
 ThreadPoolTelemetry ThreadPool::telemetry() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   ThreadPoolTelemetry t;
   t.tasks_executed = tasks_executed_;
   t.steals = steal_count_;
@@ -94,7 +94,7 @@ bool ThreadPool::NextTask(size_t worker_index, std::function<void()>* task) {
 bool ThreadPool::TryRunOneTask() {
   std::function<void()> task;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (std::deque<QueuedTask>& queue : queues_) {
       if (!queue.empty()) {
         NoteDequeued(queue.front());
@@ -111,19 +111,20 @@ bool ThreadPool::TryRunOneTask() {
 }
 
 void ThreadPool::WorkerLoop(size_t worker_index) {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   for (;;) {
     std::function<void()> task;
     if (NextTask(worker_index, &task)) {
-      lock.unlock();
+      mu_.Unlock();
       task();
       task = nullptr;  // Release captures before re-locking.
-      lock.lock();
+      mu_.Lock();
       continue;
     }
-    if (shutting_down_) return;  // All queues drained.
-    cv_.wait(lock);
+    if (shutting_down_) break;  // All queues drained.
+    cv_.Wait(&mu_);
   }
+  mu_.Unlock();
 }
 
 ThreadPool& ThreadPool::Shared() {
@@ -136,7 +137,7 @@ ThreadPool& ThreadPool::Shared() {
 
 void TaskGroup::Run(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     ++pending_;
   }
   pool_->Submit([this, fn = std::move(fn)] {
@@ -149,17 +150,17 @@ void TaskGroup::Run(std::function<void()> fn) {
     // The decrement, the error publication and the notify happen under the
     // lock: once Wait() observes pending_ == 0 the group may be destroyed,
     // so this task must be done touching members before releasing it.
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (err && !error_) error_ = err;
     --pending_;
-    cv_.notify_all();
+    cv_.NotifyAll();
   });
 }
 
 void TaskGroup::HelpUntilDone() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (pending_ == 0) return;
     }
     // Run queued work (any group's) rather than sleeping: this is what
@@ -170,15 +171,15 @@ void TaskGroup::HelpUntilDone() {
     // running on other threads (tasks are enqueued only by the owner, who
     // is here). Their completion decrements pending_ and notifies under
     // mu_, so blocking cannot miss the wakeup.
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) cv_.Wait(&mu_);
     return;
   }
 }
 
 void TaskGroup::Wait() {
   HelpUntilDone();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (error_) {
     std::exception_ptr error = std::exchange(error_, nullptr);
     std::rethrow_exception(error);

@@ -2,15 +2,16 @@
 #define PREFDB_PARALLEL_THREAD_POOL_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace prefdb {
 
@@ -89,22 +90,23 @@ class ThreadPool {
 
   void WorkerLoop(size_t worker_index);
   /// Pops the next task for `worker_index` (own queue first, then steal).
-  /// Returns false if no task is available. Requires `mu_` held.
-  bool NextTask(size_t worker_index, std::function<void()>* task);
-  /// Records the dequeue of `task` into the telemetry counters. Requires
-  /// `mu_` held.
-  void NoteDequeued(const QueuedTask& task);
+  /// Returns false if no task is available.
+  bool NextTask(size_t worker_index, std::function<void()>* task)
+      PREFDB_REQUIRES(mu_);
+  /// Records the dequeue of `task` into the telemetry counters.
+  void NoteDequeued(const QueuedTask& task) PREFDB_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::deque<QueuedTask>> queues_;  // One per worker.
-  std::vector<std::thread> workers_;
-  size_t next_queue_ = 0;     // Round-robin submission cursor.
-  size_t steal_count_ = 0;
-  uint64_t tasks_executed_ = 0;
-  uint64_t help_drains_ = 0;
-  double queue_wait_micros_ = 0.0;
-  bool shutting_down_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  // One queue per worker.
+  std::vector<std::deque<QueuedTask>> queues_ PREFDB_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_;  // Const after construction.
+  size_t next_queue_ PREFDB_GUARDED_BY(mu_) = 0;  // Round-robin cursor.
+  size_t steal_count_ PREFDB_GUARDED_BY(mu_) = 0;
+  uint64_t tasks_executed_ PREFDB_GUARDED_BY(mu_) = 0;
+  uint64_t help_drains_ PREFDB_GUARDED_BY(mu_) = 0;
+  double queue_wait_micros_ PREFDB_GUARDED_BY(mu_) = 0.0;
+  bool shutting_down_ PREFDB_GUARDED_BY(mu_) = false;
 };
 
 /// A batch of tasks submitted to a pool and joined together. Exceptions
@@ -144,10 +146,10 @@ class TaskGroup {
   void HelpUntilDone();
 
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
-  std::exception_ptr error_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ PREFDB_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ PREFDB_GUARDED_BY(mu_);
 };
 
 }  // namespace prefdb

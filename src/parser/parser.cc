@@ -172,7 +172,7 @@ class Parser {
       return Error("unexpected trailing input '" + Peek().text + "'");
     }
     query.plan = std::move(plan);
-    return std::move(query);
+    return query;  // Implicitly moved into the StatusOr (C++20 [class.copy.elision]).
   }
 
   StatusOr<ExprPtr> ParseStandaloneExpression() {

@@ -2,12 +2,13 @@
 #define PREFDB_STORAGE_CATALOG_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/table.h"
 
 namespace prefdb {
@@ -29,9 +30,11 @@ class Catalog {
   Catalog() = default;
 
   // Catalogs own large tables; moving is fine, copying is not. Moves are
-  // written out by hand because std::mutex is immovable; they must not
+  // written out by hand because the mutex is immovable; they must not
   // race with table access (only used while handing a freshly built
-  // catalog to a session/engine).
+  // catalog to a session/engine). They lock both catalogs at once — a
+  // protocol outside what the thread-safety analysis can express, so the
+  // definitions opt out with PREFDB_NO_THREAD_SAFETY_ANALYSIS.
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
   Catalog(Catalog&& other) noexcept;
@@ -60,10 +63,13 @@ class Catalog {
   size_t TotalRows() const;
 
  private:
-  // Guards `tables_` (the map only, not the tables it points to).
-  mutable std::mutex mu_;
+  // Guards `tables_` (the map only, not the tables it points to: table
+  // contents are immutable after creation and their lazy index/stats
+  // builds are internally synchronized).
+  mutable Mutex mu_;
   // Keyed by upper-cased name.
-  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_
+      PREFDB_GUARDED_BY(mu_);
 };
 
 }  // namespace prefdb

@@ -41,7 +41,7 @@ const HashIndex& Table::EnsureIndex(size_t column_index) {
   // Building under the lock serializes concurrent first-touch builds of the
   // same index; index construction is rare (once per column) and the lock
   // is uncontended afterwards.
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(&lazy_mu_);
   auto it = indexes_.find(column_index);
   if (it == indexes_.end()) {
     it = indexes_.emplace(column_index,
@@ -52,7 +52,7 @@ const HashIndex& Table::EnsureIndex(size_t column_index) {
 }
 
 const ColumnStats& Table::Stats(size_t column_index) {
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(&lazy_mu_);
   auto it = stats_.find(column_index);
   if (it != stats_.end()) return *it->second;
 

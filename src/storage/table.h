@@ -2,12 +2,13 @@
 #define PREFDB_STORAGE_TABLE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/hash_index.h"
 #include "types/relation.h"
 
@@ -69,7 +70,7 @@ class Table {
 
   /// True if an index on `column_index` has already been built.
   bool HasIndex(size_t column_index) const {
-    std::lock_guard<std::mutex> lock(lazy_mu_);
+    MutexLock lock(&lazy_mu_);
     return indexes_.count(column_index) > 0;
   }
 
@@ -91,10 +92,13 @@ class Table {
   Relation relation_;
   /// Guards the lazily built indexes and statistics — the only mutable
   /// state of an otherwise read-only table. Entries are heap-allocated so
-  /// returned references survive rehashing.
-  mutable std::mutex lazy_mu_;
-  std::unordered_map<size_t, std::unique_ptr<HashIndex>> indexes_;
-  std::unordered_map<size_t, std::unique_ptr<ColumnStats>> stats_;
+  /// returned references survive rehashing (the references themselves are
+  /// safe to use after the lock is released; only the maps are guarded).
+  mutable Mutex lazy_mu_;
+  std::unordered_map<size_t, std::unique_ptr<HashIndex>> indexes_
+      PREFDB_GUARDED_BY(lazy_mu_);
+  std::unordered_map<size_t, std::unique_ptr<ColumnStats>> stats_
+      PREFDB_GUARDED_BY(lazy_mu_);
 };
 
 }  // namespace prefdb

@@ -462,6 +462,39 @@ TEST(CacheEquivalenceTest, ExplainAnalyzeAnnotatesHitsAndMisses) {
       << warm->explain_analyze;
 }
 
+// Regression: the plug-in strategy's Q_NP execution span must be handed to
+// ExecuteConcurrent, or the cache layer has nowhere to hang its annotation
+// and the plug-in EXPLAIN ANALYZE silently loses cache=hit/miss.
+TEST(CacheEquivalenceTest, PlugInExplainAnalyzeAnnotatesQnpSpan) {
+  Session session(MakeMovieCatalog());
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+  QueryOptions options;
+  options.strategy = StrategyKind::kPlugInBasic;
+  std::string explain = std::string("EXPLAIN ANALYZE ") + kPreferringQuery;
+
+  // The annotation must land on the Q_NP span itself, not just anywhere in
+  // the report, so check the EngineQuery[Q_NP] line.
+  auto qnp_line = [](const std::string& report) {
+    size_t pos = report.find("EngineQuery[Q_NP]");
+    if (pos == std::string::npos) return std::string();
+    size_t start = report.rfind('\n', pos);
+    start = start == std::string::npos ? 0 : start + 1;
+    size_t end = report.find('\n', pos);
+    return report.substr(start, end - start);
+  };
+
+  auto cold = session.Query(explain, options);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  std::string cold_line = qnp_line(cold->explain_analyze);
+  ASSERT_FALSE(cold_line.empty()) << cold->explain_analyze;
+  EXPECT_NE(cold_line.find("cache=miss"), std::string::npos) << cold_line;
+
+  auto warm = session.Query(explain, options);
+  ASSERT_TRUE(warm.ok());
+  std::string warm_line = qnp_line(warm->explain_analyze);
+  EXPECT_NE(warm_line.find("cache=hit"), std::string::npos) << warm_line;
+}
+
 TEST(CacheEquivalenceTest, MetricsRegistryExposesCacheCounters) {
   Session session(MakeMovieCatalog());
   ASSERT_TRUE(session.Query("SET CACHE ON").ok());

@@ -1,0 +1,15 @@
+// Fixture: wall-clock time folded into a cache fingerprint. Two identical
+// queries would hash differently, silently killing the hit rate — and a
+// replayed entry would no longer be a pure function of query + catalog
+// state. Must trip cache-determinism (file sits under src/cache/).
+#include <chrono>
+#include <cstdint>
+
+namespace prefdb {
+
+uint64_t StampedFingerprint(uint64_t base) {
+  auto now = std::chrono::steady_clock::now().time_since_epoch().count();
+  return base ^ static_cast<uint64_t>(now);
+}
+
+}  // namespace prefdb

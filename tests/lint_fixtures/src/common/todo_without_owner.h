@@ -1,0 +1,12 @@
+// Fixture: an ownerless work item. Must trip todo-owner.
+#ifndef PREFDB_LINT_FIXTURE_TODO_WITHOUT_OWNER_H_
+#define PREFDB_LINT_FIXTURE_TODO_WITHOUT_OWNER_H_
+
+namespace prefdb {
+
+// TODO: make this configurable.
+inline constexpr int kBatchSize = 64;
+
+}  // namespace prefdb
+
+#endif  // PREFDB_LINT_FIXTURE_TODO_WITHOUT_OWNER_H_

@@ -1,0 +1,13 @@
+// Fixture: direct catalog mutation from strategy code. Temp tables created
+// this way are never marked temporary and leak on error paths — the
+// sanctioned route is Engine::RegisterTempTable / DropTempTable. Must trip
+// catalog-mutation (the file sits under src/exec/, not src/engine/).
+#include "engine/engine.h"
+
+namespace prefdb {
+
+void SneakyRegister(Engine* engine, std::unique_ptr<Table> table) {
+  (void)engine->mutable_catalog()->AddTable(std::move(table));
+}
+
+}  // namespace prefdb

@@ -1,0 +1,16 @@
+// Fixture: a TaskGroup that is spawned into but never joined. Its
+// destructor blocks, but any task exception is swallowed instead of
+// rethrown — must trip taskgroup-wait.
+#include "parallel/thread_pool.h"
+
+namespace prefdb {
+
+void FireAndForget() {
+  TaskGroup group(&ThreadPool::Shared());
+  for (int i = 0; i < 4; ++i) {
+    group.Run([] { /* work */ });
+  }
+  // Missing group.Wait() here.
+}
+
+}  // namespace prefdb

@@ -1,0 +1,21 @@
+// Fixture: a naked std::mutex member. Clang thread-safety analysis cannot
+// see locks taken on an unannotated type, so this must trip
+// mutex-guarded-by even though the code is otherwise plausible.
+#include <mutex>
+#include <vector>
+
+namespace prefdb {
+
+class Registry {
+ public:
+  void Add(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.push_back(v);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> values_;
+};
+
+}  // namespace prefdb

@@ -1,0 +1,20 @@
+// Fixture: a prefdb::Mutex member with no GUARDED_BY anywhere in the file.
+// The lock protects nothing the analysis can check — either annotate the
+// guarded fields or delete the mutex. Must trip mutex-guarded-by.
+#include "common/mutex.h"
+
+namespace prefdb {
+
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(&mu_);
+    ++count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace prefdb

@@ -18,7 +18,12 @@ class ParserTest : public ::testing::Test {
     return parsed.ok() ? std::move(*parsed) : ParsedQuery{};
   }
 
-  Status ParseError(std::string_view sql) {
+  // Asserts that `sql` fails to parse. Use ParseErrorStatus when the test
+  // also inspects the error message; the Status return is [[nodiscard]],
+  // so the pure-failure checks use this void wrapper instead.
+  void ParseError(std::string_view sql) { (void)ParseErrorStatus(sql); }
+
+  Status ParseErrorStatus(std::string_view sql) {
     auto parsed = ParseQuery(sql, catalog_);
     EXPECT_FALSE(parsed.ok()) << "expected parse failure for: " << sql;
     return parsed.ok() ? Status::OK() : parsed.status();
@@ -241,7 +246,7 @@ TEST_F(ParserTest, InListAndUnaryMinus) {
 }
 
 TEST_F(ParserTest, ErrorsAreInformative) {
-  Status st = ParseError("SELECT title FROM NOPE");
+  Status st = ParseErrorStatus("SELECT title FROM NOPE");
   EXPECT_NE(st.message().find("unknown table"), std::string::npos);
   ParseError("SELECT FROM MOVIES");
   ParseError("SELECT title MOVIES");
@@ -253,7 +258,7 @@ TEST_F(ParserTest, ErrorsAreInformative) {
 }
 
 TEST_F(ParserTest, PreferenceConditionMustBind) {
-  Status st = ParseError(
+  Status st = ParseErrorStatus(
       "SELECT title FROM MOVIES PREFERRING (genre = 'Comedy') SCORE 1 CONF 1");
   EXPECT_NE(st.message().find("preference condition"), std::string::npos);
 }
