@@ -6,9 +6,18 @@
 // Extension (parallel subsystem): a thread-count sweep of every strategy on
 // the largest scalability dataset, emitting machine-readable rows to
 // BENCH_parallel.json to seed the performance trajectory.
+//
+// Extension (native executor): a native-operator sweep isolating the
+// executor's morsel-parallel operators (scan filtering, hash-join probe)
+// at threads {1,2,4,8}, emitting BENCH_native.json whose traced rows carry
+// the native.* span taxonomy (DESIGN.md §12). scripts/run_checks.sh's
+// bench gate asserts those span names stay present; set
+// PREFDB_BENCH_ONLY=native to run just this sweep.
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -87,6 +96,94 @@ void RunThreadSweep(Session* session, const std::string& sql,
   if (json != nullptr) {
     std::fclose(json);
     std::printf("\nWrote BENCH_parallel.json\n");
+  }
+}
+
+// Native-operator sweep: isolates the executor's own morsel-parallel
+// operators rather than whole-strategy wall time. FtP delegates the
+// relational fragment wholesale, so its delegated subtree is exactly the
+// native operators under measurement: the scan_filter phase is dominated
+// by fused-predicate filtering in ExecScan, the join_probe phase by the
+// serial-build/parallel-probe hash join. The traced rows embed the
+// native.* span names (native.scan, native.join.build, native.join.probe)
+// with per-operator row counts — the machine-readable contract that
+// scripts/run_checks.sh's bench gate greps BENCH_native.json for.
+void RunNativeSweep(Session* session, const BenchEnv& env) {
+  struct Phase {
+    const char* name;
+    const char* sql;
+  };
+  const Phase phases[] = {
+      // Selective scan: the delegated fragment is a single filtered table
+      // scan, so wall time tracks native.scan's morsel loop.
+      {"scan_filter",
+       "SELECT title, year FROM MOVIES WHERE year >= 1990 "
+       "PREFERRING (year >= 2000) SCORE recency(year, 2011) CONF 0.9 "
+       "RANKED"},
+      // Join-heavy: two hash joins per execution; probe-side morsels run
+      // concurrently while each build stays serial (DESIGN.md §12).
+      {"join_probe",
+       "SELECT title, year FROM MOVIES "
+       "JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id "
+       "JOIN GENRES ON MOVIES.m_id = GENRES.m_id "
+       "WHERE year >= 1990 "
+       "PREFERRING (year >= 2000) SCORE recency(year, 2011) CONF 0.9 "
+       "RANKED"},
+  };
+  const size_t kThreads[] = {1, 2, 4, 8};
+  const std::string strategy = std::string(StrategyKindName(StrategyKind::kFtP));
+
+  std::printf(
+      "\nNative-operator sweep (%s-delegated scan filter and join probe; "
+      "morsel-parallel executor operators):\n\n",
+      strategy.c_str());
+  std::vector<std::string> header = {"phase"};
+  for (size_t t : kThreads) header.push_back(StrFormat("%zu thr ms", t));
+  PrintTableHeader(header);
+
+  ParallelContext defaults;
+  FILE* json =
+      OpenBenchJson("BENCH_native.json", "native", env, defaults.morsel_size);
+  for (const Phase& phase : phases) {
+    std::vector<std::string> row = {phase.name};
+    for (size_t threads : kThreads) {
+      QueryOptions options;
+      options.strategy = StrategyKind::kFtP;
+      options.parallel.threads = threads;
+      Measurement m =
+          MeasureQuery(session, phase.sql, options, env.repetitions);
+      row.push_back(FormatMillis(m.millis));
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\": \"native\", \"phase\": \"%s\", "
+                     "\"strategy\": \"%s\", \"threads\": %zu, "
+                     "\"morsel_size\": %zu, %s, "
+                     "\"tuples_materialized\": %zu}\n",
+                     phase.name, strategy.c_str(), threads,
+                     options.parallel.morsel_size,
+                     MeasurementJsonFields(m).c_str(),
+                     m.stats.tuples_materialized);
+      }
+    }
+    // One traced run per phase at each end of the sweep: the span tree
+    // behind the timings, carrying the native operator rows (with
+    // rows_in/rows_out) that the bench gate asserts on.
+    for (size_t threads : {kThreads[0], kThreads[3]}) {
+      QueryOptions options;
+      options.strategy = StrategyKind::kFtP;
+      options.parallel.threads = threads;
+      AppendTraceJson(
+          json, "native",
+          StrFormat("\"phase\": \"%s\", \"strategy\": \"%s\", "
+                    "\"threads\": %zu",
+                    phase.name, strategy.c_str(), threads),
+          session, phase.sql, options);
+    }
+    PrintTableRow(row);
+  }
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("\nWrote BENCH_native.json\n");
   }
 }
 
@@ -184,6 +281,25 @@ void RunCacheSweep(Session* session, const std::string& sql,
 
 int Main() {
   BenchEnv env = GetBenchEnv();
+
+  // Fast path for CI: PREFDB_BENCH_ONLY=native skips the scalability table
+  // and the strategy/cache sweeps, generating one dataset at the base SF
+  // and running only the native-operator sweep. scripts/run_checks.sh uses
+  // this (with a tiny SF) to gate on BENCH_native.json contents.
+  const char* only = std::getenv("PREFDB_BENCH_ONLY");
+  if (only != nullptr && std::string(only) == "native") {
+    ImdbOptions options;
+    options.scale = env.sf;
+    auto catalog = GenerateImdb(options);
+    if (!catalog.ok()) {
+      std::fprintf(stderr, "%s\n", catalog.status().ToString().c_str());
+      return 1;
+    }
+    Session session(std::move(*catalog));
+    RunNativeSweep(&session, env);
+    return 0;
+  }
+
   std::printf(
       "prefdb :: Fig. 12 [reconstructed]: scalability with dataset size "
       "(IMDB-1; base SF=%.4g)\n\n",
@@ -234,6 +350,7 @@ int Main() {
   }
   Session session(std::move(*catalog));
   RunThreadSweep(&session, sql, "IMDB-1", env);
+  RunNativeSweep(&session, env);
   RunCacheSweep(&session, sql, "IMDB-1", env);
   std::printf(
       "\nExpected shape: FtP and the plug-ins, whose cost is dominated by "

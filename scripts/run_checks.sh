@@ -8,18 +8,21 @@
 #   asan    AddressSanitizer+UBSan build of the full suite  (build-asan)
 #   tsan    ThreadSanitizer pass over the parallel-labeled tests
 #           (scripts/run_tsan.sh, build-tsan)
+#   bench   bench_scalability fast path (PREFDB_BENCH_ONLY=native at a tiny
+#           scale) — fails if BENCH_native.json stops carrying the
+#           native-operator phase rows and native.* span names
 #
 # Every stage is on by default and individually skippable:
 #
 #   scripts/run_checks.sh [--no-tier1] [--no-lint] [--no-tidy]
-#                         [--no-asan] [--no-tsan]
+#                         [--no-asan] [--no-tsan] [--no-bench]
 #
 # (--no-tsan alone reproduces the historical fast-iteration mode.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-RUN_TIER1=1 RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1
+RUN_TIER1=1 RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1 RUN_BENCH=1
 for arg in "$@"; do
   case "$arg" in
     --no-tier1) RUN_TIER1=0 ;;
@@ -27,6 +30,7 @@ for arg in "$@"; do
     --no-tidy)  RUN_TIDY=0 ;;
     --no-asan)  RUN_ASAN=0 ;;
     --no-tsan)  RUN_TSAN=0 ;;
+    --no-bench) RUN_BENCH=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -68,6 +72,25 @@ fi
 if [ "$RUN_TSAN" -eq 1 ]; then
   echo "== tsan: parallel-labeled tests =="
   scripts/run_tsan.sh
+fi
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+  echo "== bench: native-operator phase rows in BENCH_native.json =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j --target bench_scalability
+  rm -f build/bench/BENCH_native.json
+  (cd build/bench && \
+     PREFDB_BENCH_ONLY=native PREFDB_BENCH_SF=0.002 PREFDB_BENCH_REPS=1 \
+     ./bench_scalability)
+  # The bench must keep emitting its two phase rows and the native-operator
+  # span taxonomy (DESIGN.md §12) that downstream tooling parses.
+  for needle in '"phase": "scan_filter"' '"phase": "join_probe"' \
+                native.scan native.join.build native.join.probe; do
+    if ! grep -q -- "$needle" build/bench/BENCH_native.json; then
+      echo "bench gate: '$needle' missing from BENCH_native.json" >&2
+      exit 1
+    fi
+  done
 fi
 
 echo "All checks passed."

@@ -45,6 +45,7 @@ QueryCache::QueryCache(obs::MetricsRegistry* metrics, size_t max_bytes)
     hit_counter_ = metrics_->counter("pref.cache.hits");
     miss_counter_ = metrics_->counter("pref.cache.misses");
     eviction_counter_ = metrics_->counter("pref.cache.evictions");
+    admission_counter_ = metrics_->counter("pref.cache.admission_rejected");
     PublishGauges();
   }
 }
@@ -102,7 +103,18 @@ void QueryCache::Insert(const CacheKey& key,
                         : 0);
   }
   size_t budget = ShardBudget();
-  if (value->bytes > budget) return;  // Would evict a whole shard for one key.
+  // Admission policy: don't displace useful entries with values that are
+  // oversized (admitting one would evict a whole shard) or trivially cheap
+  // to recompute (a hit saves nothing — the stats delta shows the miss
+  // execution touched no rows).
+  bool oversized = value->bytes > budget;
+  bool trivial_recompute =
+      value->stats.rows_scanned + value->stats.tuples_materialized == 0;
+  if (oversized || trivial_recompute) {
+    admission_rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (admission_counter_ != nullptr) admission_counter_->Increment();
+    return;
+  }
 
   Shard& shard = ShardFor(key);
   {
@@ -158,6 +170,8 @@ QueryCache::Stats QueryCache::snapshot() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.insertions = insertions_.load(std::memory_order_relaxed);
+  stats.admission_rejected =
+      admission_rejected_.load(std::memory_order_relaxed);
   stats.entries = entry_count_.load(std::memory_order_relaxed);
   stats.bytes = total_bytes_.load(std::memory_order_relaxed);
   return stats;
@@ -167,11 +181,12 @@ std::string QueryCache::ToString() const {
   Stats s = snapshot();
   return StrFormat(
       "QueryCache{enabled=%d entries=%zu bytes=%zu/%zu hits=%llu misses=%llu "
-      "evictions=%llu}",
+      "evictions=%llu admission_rejected=%llu}",
       enabled() ? 1 : 0, s.entries, s.bytes, max_bytes(),
       static_cast<unsigned long long>(s.hits),
       static_cast<unsigned long long>(s.misses),
-      static_cast<unsigned long long>(s.evictions));
+      static_cast<unsigned long long>(s.evictions),
+      static_cast<unsigned long long>(s.admission_rejected));
 }
 
 }  // namespace cache

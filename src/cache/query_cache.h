@@ -87,8 +87,16 @@ class QueryCache {
 
   /// Stores `value` under `key` (replacing any existing entry), computing
   /// value->bytes if unset, then evicts LRU-last until the shard fits its
-  /// budget slice. Oversized values (bigger than a whole shard's slice) are
-  /// silently not stored.
+  /// budget slice.
+  ///
+  /// Admission policy — rejected values are not stored, and each rejection
+  /// increments the pref.cache.admission_rejected counter:
+  ///   * Oversized: value->bytes exceeds a whole shard's budget slice, so
+  ///     admitting it would evict an entire shard for one key.
+  ///   * Trivial recompute: the ExecStats delta records zero rows scanned
+  ///     and zero tuples materialized, meaning a recompute costs nothing —
+  ///     caching it could only displace entries that are expensive to
+  ///     rebuild.
   void Insert(const CacheKey& key, std::shared_ptr<CachedResult> value);
 
   /// Point-in-time totals (atomics; exact when quiescent).
@@ -97,6 +105,7 @@ class QueryCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t insertions = 0;
+    uint64_t admission_rejected = 0;
     size_t entries = 0;
     size_t bytes = 0;
   };
@@ -131,6 +140,7 @@ class QueryCache {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> admission_rejected_{0};
   std::atomic<size_t> total_bytes_{0};
   std::atomic<size_t> entry_count_{0};
 
@@ -138,6 +148,7 @@ class QueryCache {
   obs::Counter* hit_counter_ = nullptr;       // "pref.cache.hits"
   obs::Counter* miss_counter_ = nullptr;      // "pref.cache.misses"
   obs::Counter* eviction_counter_ = nullptr;  // "pref.cache.evictions"
+  obs::Counter* admission_counter_ = nullptr;  // "pref.cache.admission_rejected"
 
   Shard shards_[kShards];
 };

@@ -21,12 +21,21 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
   query_count_->Increment();
   auto run = [&](ExecStats* s) -> StatusOr<Relation> {
     ++s->engine_queries;
+    // The executor inherits this engine's parallel context and span: its
+    // hot operators evaluate in concurrent morsels and record `native.*`
+    // child spans under the delegated-query span, so EXPLAIN ANALYZE shows
+    // where delegated time goes. Nested fork/join is safe even when this
+    // call itself runs on a pool task — TaskGroup::Wait is a helping join.
+    NativeExecOptions exec;
+    exec.parallel = &parallel_;
+    exec.span = span;
+    exec.metrics = &native_metrics_;
     if (!native_optimizer_enabled_) {
-      return ExecutePlan(query, &catalog_, s);
+      return ExecutePlan(query, &catalog_, s, exec);
     }
     ASSIGN_OR_RETURN(NativeOptimizerResult optimized,
                      NativeOptimize(query, catalog_));
-    return ExecutePlan(*optimized.plan, &catalog_, s);
+    return ExecutePlan(*optimized.plan, &catalog_, s, exec);
   };
 
   // Fingerprint against the *pre*-native-optimization plan: the optimizer

@@ -6,6 +6,7 @@
 
 #include "cache/query_cache.h"
 #include "engine/exec_stats.h"
+#include "engine/executor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/parallel_context.h"
@@ -27,7 +28,21 @@ class Engine {
   explicit Engine(Catalog catalog)
       : catalog_(std::move(catalog)),
         query_count_(metrics_.counter("engine.queries")),
-        query_micros_(metrics_.histogram("engine.query_micros")) {}
+        query_micros_(metrics_.histogram("engine.query_micros")) {
+    // Resolve the native executor's counters once so each delegated query
+    // hands the executor pre-looked-up handles (no registry locking on the
+    // per-operator path).
+    native_metrics_.scan_rows = metrics_.counter("pref.native.scan_rows");
+    native_metrics_.join_build_rows =
+        metrics_.counter("pref.native.join_build_rows");
+    native_metrics_.join_probe_rows =
+        metrics_.counter("pref.native.join_probe_rows");
+    native_metrics_.setop_probe_rows =
+        metrics_.counter("pref.native.setop_probe_rows");
+    native_metrics_.distinct_rows = metrics_.counter("pref.native.distinct_rows");
+    native_metrics_.parallel_regions =
+        metrics_.counter("pref.native.parallel_regions");
+  }
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -123,6 +138,7 @@ class Engine {
   cache::QueryCache cache_{&metrics_};
   obs::Counter* query_count_;     // "engine.queries"
   obs::Histogram* query_micros_;  // "engine.query_micros"
+  NativeExecMetrics native_metrics_;  // "pref.native.*"
   bool native_optimizer_enabled_ = true;
   ParallelContext parallel_;
 };

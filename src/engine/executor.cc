@@ -1,10 +1,13 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/string_util.h"
+#include "parallel/morsel.h"
 
 namespace prefdb {
 
@@ -12,36 +15,41 @@ namespace {
 
 class Executor {
  public:
-  Executor(Catalog* catalog, ExecStats* stats) : catalog_(catalog), stats_(stats) {}
+  Executor(Catalog* catalog, ExecStats* stats, const NativeExecOptions& options)
+      : catalog_(catalog),
+        stats_(stats),
+        parallel_(options.parallel),
+        metrics_(options.metrics == nullptr ? NativeExecMetrics{}
+                                            : *options.metrics) {}
 
-  StatusOr<Relation> Execute(const PlanNode& node) {
+  StatusOr<Relation> Execute(const PlanNode& node, obs::Span* parent) {
     ++stats_->operator_invocations;
     switch (node.kind) {
       case PlanKind::kScan:
-        return ExecScan(node, /*predicate=*/nullptr);
+        return ExecScan(node, /*predicate=*/nullptr, parent);
       case PlanKind::kSelect:
         // Fuse Select(Scan) so base predicates can use indexes and avoid
         // materializing the unfiltered table.
         if (node.child().kind == PlanKind::kScan) {
-          return ExecScan(node.child(), node.predicate.get());
+          return ExecScan(node.child(), node.predicate.get(), parent);
         }
-        return ExecSelect(node);
+        return ExecSelect(node, parent);
       case PlanKind::kProject:
-        return ExecProject(node);
+        return ExecProject(node, parent);
       case PlanKind::kJoin:
-        return ExecJoin(node, /*semi=*/false);
+        return ExecJoin(node, /*semi=*/false, parent);
       case PlanKind::kSemiJoin:
-        return ExecJoin(node, /*semi=*/true);
+        return ExecJoin(node, /*semi=*/true, parent);
       case PlanKind::kUnion:
       case PlanKind::kIntersect:
       case PlanKind::kExcept:
-        return ExecSetOp(node);
+        return ExecSetOp(node, parent);
       case PlanKind::kDistinct:
-        return ExecDistinct(node);
+        return ExecDistinct(node, parent);
       case PlanKind::kSort:
-        return ExecSort(node);
+        return ExecSort(node, parent);
       case PlanKind::kLimit:
-        return ExecLimit(node);
+        return ExecLimit(node, parent);
       case PlanKind::kPrefer:
         return Status::Unimplemented(
             "the conventional executor cannot evaluate prefer operators; "
@@ -51,8 +59,34 @@ class Executor {
   }
 
  private:
-  StatusOr<Relation> ExecScan(const PlanNode& node, const Expr* predicate) {
+  // Partitioning decision for one operator region; counts regions that
+  // actually split. The ExecStats block and every span stay owned by the
+  // calling thread — worker slots only ever write their own per-morsel
+  // buffers, and the caller merges them in morsel order at the join point,
+  // so parallel output (rows, order, counters, trace) is bit-identical to
+  // serial execution.
+  MorselPlan PlanFor(size_t n) {
+    MorselPlan plan = MorselPlan::Make(n, parallel_);
+    if (!plan.serial()) Bump(metrics_.parallel_regions, 1);
+    return plan;
+  }
+
+  static void Bump(obs::Counter* counter, size_t n) {
+    if (counter != nullptr) counter->Increment(n);
+  }
+
+  StatusOr<Relation> ExecScan(const PlanNode& node, const Expr* predicate,
+                              obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.scan");
     ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(node.table_name));
+    // Strategy-registered temporaries carry a process-unique counter in
+    // their name; masking it keeps the timing-free trace rendering
+    // byte-identical run to run (the determinism contract).
+    obs::AppendDetail(
+        scope.get(),
+        table->temporary()
+            ? "table=<temp>"
+            : "table=" + (node.alias.empty() ? node.table_name : node.alias));
     Schema schema = table->schema();
     if (!node.alias.empty() && node.alias != node.table_name) {
       schema = schema.WithQualifier(node.alias);
@@ -63,8 +97,11 @@ class Executor {
 
     if (predicate == nullptr) {
       stats_->rows_scanned += rows.size();
+      Bump(metrics_.scan_rows, rows.size());
+      obs::SetRowsIn(scope.get(), rows.size());
       *out.mutable_rows() = rows;
       stats_->tuples_materialized += out.NumRows();
+      obs::SetRowsOut(scope.get(), out.NumRows());
       return out;
     }
 
@@ -77,7 +114,10 @@ class Executor {
     if (index_col >= 0) {
       const HashIndex& index = table->EnsureIndex(static_cast<size_t>(index_col));
       const std::vector<uint32_t>& matches = index.Lookup(index_key);
+      obs::AppendDetail(scope.get(), "index");
       stats_->rows_scanned += matches.size();
+      Bump(metrics_.scan_rows, matches.size());
+      obs::SetRowsIn(scope.get(), matches.size());
       out.Reserve(matches.size());
       for (uint32_t pos : matches) {
         const Tuple& row = rows[pos];
@@ -85,11 +125,34 @@ class Executor {
       }
     } else {
       stats_->rows_scanned += rows.size();
-      for (const Tuple& row : rows) {
-        if (IsTruthy(bound->Eval(row))) out.AddRow(row);
+      Bump(metrics_.scan_rows, rows.size());
+      obs::SetRowsIn(scope.get(), rows.size());
+      MorselPlan plan = PlanFor(rows.size());
+      if (plan.serial()) {
+        for (const Tuple& row : rows) {
+          if (IsTruthy(bound->Eval(row))) out.AddRow(row);
+        }
+      } else {
+        // Bound expressions are immutable after Bind, so all slots share
+        // `bound`. Each morsel filters into its own buffer; concatenating
+        // the buffers in morsel order reproduces the serial row order.
+        std::vector<std::vector<Tuple>> kept(plan.morsel_count());
+        ParallelFor(plan, [&](size_t, const Morsel& m) {
+          std::vector<Tuple>& local = kept[m.index];
+          for (size_t i = m.begin; i < m.end; ++i) {
+            if (IsTruthy(bound->Eval(rows[i]))) local.push_back(rows[i]);
+          }
+        });
+        size_t total = 0;
+        for (const std::vector<Tuple>& local : kept) total += local.size();
+        out.Reserve(total);
+        for (std::vector<Tuple>& local : kept) {
+          for (Tuple& row : local) out.AddRow(std::move(row));
+        }
       }
     }
     stats_->tuples_materialized += out.NumRows();
+    obs::SetRowsOut(scope.get(), out.NumRows());
     return out;
   }
 
@@ -122,31 +185,37 @@ class Executor {
     *key_out = static_cast<const LiteralExpr*>(lit)->value();
   }
 
-  StatusOr<Relation> ExecSelect(const PlanNode& node) {
-    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+  StatusOr<Relation> ExecSelect(const PlanNode& node, obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.select");
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child(), scope.get()));
     ExprPtr bound = node.predicate->Clone();
     RETURN_IF_ERROR(bound->Bind(input.schema()));
     Relation out(input.schema());
     out.set_key_columns(input.key_columns());
+    obs::SetRowsIn(scope.get(), input.NumRows());
     for (Tuple& row : *input.mutable_rows()) {
       if (IsTruthy(bound->Eval(row))) out.AddRow(std::move(row));
     }
     stats_->tuples_materialized += out.NumRows();
+    obs::SetRowsOut(scope.get(), out.NumRows());
     return out;
   }
 
-  StatusOr<Relation> ExecProject(const PlanNode& node) {
-    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+  StatusOr<Relation> ExecProject(const PlanNode& node, obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.project");
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child(), scope.get()));
     PlanShape input_shape{input.schema(), input.key_columns()};
     ASSIGN_OR_RETURN(ProjectionResolution res,
                      ResolveProjection(input_shape, node.project_columns));
     Relation out(input.schema().Select(res.indices));
     out.set_key_columns(res.key_positions);
     out.Reserve(input.NumRows());
+    obs::SetRowsIn(scope.get(), input.NumRows());
     for (const Tuple& row : input.rows()) {
       out.AddRow(ProjectTuple(row, res.indices));
     }
     stats_->tuples_materialized += out.NumRows();
+    obs::SetRowsOut(scope.get(), out.NumRows());
     return out;
   }
 
@@ -183,9 +252,13 @@ class Executor {
     return false;
   }
 
-  StatusOr<Relation> ExecJoin(const PlanNode& node, bool semi) {
-    ASSIGN_OR_RETURN(Relation left, Execute(node.child(0)));
-    ASSIGN_OR_RETURN(Relation right, Execute(node.child(1)));
+  StatusOr<Relation> ExecJoin(const PlanNode& node, bool semi,
+                              obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.join");
+    if (semi) obs::AppendDetail(scope.get(), "semi");
+    ASSIGN_OR_RETURN(Relation left, Execute(node.child(0), scope.get()));
+    ASSIGN_OR_RETURN(Relation right, Execute(node.child(1), scope.get()));
+    obs::SetRowsIn(scope.get(), left.NumRows() + right.NumRows());
 
     Schema combined = left.schema().Concat(right.schema());
     ExprPtr bound = node.predicate->Clone();
@@ -198,63 +271,165 @@ class Executor {
     }
     out.set_key_columns(std::move(keys));
 
+    const std::vector<Tuple>& lrows = left.rows();
+    const std::vector<Tuple>& rrows = right.rows();
     std::string left_col;
     std::string right_col;
     if (FindEquiConjunct(*node.predicate, left.schema(), right.schema(),
                          &left_col, &right_col)) {
-      // Hash join: build on the right input, probe with the left.
+      // Hash join: build on the right input, probe with the left. The
+      // build stays serial — insertion order into the per-key postings
+      // lists is what makes the probe's match order (and therefore the
+      // output row order) deterministic; the probe is where the work is,
+      // and it parallelizes over morsels of the probe side.
+      obs::AppendDetail(scope.get(), "hash");
       ASSIGN_OR_RETURN(size_t li, left.schema().FindColumn(left_col));
       ASSIGN_OR_RETURN(size_t ri, right.schema().FindColumn(right_col));
       std::unordered_map<Value, std::vector<uint32_t>, ValueHash> build;
-      build.reserve(right.NumRows());
-      const std::vector<Tuple>& rrows = right.rows();
-      for (size_t i = 0; i < rrows.size(); ++i) {
-        build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
-      }
-      for (const Tuple& lrow : left.rows()) {
-        auto it = build.find(lrow[li]);
-        if (it == build.end()) continue;
-        for (uint32_t pos : it->second) {
-          Tuple joined = ConcatTuples(lrow, rrows[pos]);
-          if (!IsTruthy(bound->Eval(joined))) continue;
-          if (semi) {
-            out.AddRow(lrow);
-            break;  // Left tuple qualifies once.
-          }
-          out.AddRow(std::move(joined));
+      {
+        obs::SpanScope build_scope(scope.get(), "native.join.build");
+        obs::SetRowsIn(build_scope.get(), rrows.size());
+        build.reserve(right.NumRows());
+        for (size_t i = 0; i < rrows.size(); ++i) {
+          build[rrows[i][ri]].push_back(static_cast<uint32_t>(i));
         }
+        obs::SetRowsOut(build_scope.get(), build.size());
+        Bump(metrics_.join_build_rows, rrows.size());
       }
+      obs::SpanScope probe_scope(scope.get(), "native.join.probe");
+      obs::SetRowsIn(probe_scope.get(), lrows.size());
+      Bump(metrics_.join_probe_rows, lrows.size());
+      MorselPlan plan = PlanFor(lrows.size());
+      if (plan.serial()) {
+        for (const Tuple& lrow : lrows) {
+          auto it = build.find(lrow[li]);
+          if (it == build.end()) continue;
+          for (uint32_t pos : it->second) {
+            Tuple joined = ConcatTuples(lrow, rrows[pos]);
+            if (!IsTruthy(bound->Eval(joined))) continue;
+            if (semi) {
+              out.AddRow(lrow);
+              break;  // Left tuple qualifies once.
+            }
+            out.AddRow(std::move(joined));
+          }
+        }
+      } else {
+        // Per-morsel match buffers over the probe side; the build table,
+        // both inputs and the bound predicate are read-only here.
+        // Concatenating the buffers in morsel order reproduces the serial
+        // output row order exactly.
+        std::vector<std::vector<Tuple>> buffers(plan.morsel_count());
+        ParallelFor(plan, [&](size_t, const Morsel& m) {
+          std::vector<Tuple>& local = buffers[m.index];
+          for (size_t i = m.begin; i < m.end; ++i) {
+            const Tuple& lrow = lrows[i];
+            auto it = build.find(lrow[li]);
+            if (it == build.end()) continue;
+            for (uint32_t pos : it->second) {
+              Tuple joined = ConcatTuples(lrow, rrows[pos]);
+              if (!IsTruthy(bound->Eval(joined))) continue;
+              if (semi) {
+                local.push_back(lrow);
+                break;
+              }
+              local.push_back(std::move(joined));
+            }
+          }
+        });
+        MergeBuffers(&buffers, &out);
+      }
+      obs::SetRowsOut(probe_scope.get(), out.NumRows());
     } else {
-      // Nested-loop join.
-      for (const Tuple& lrow : left.rows()) {
-        bool matched = false;
-        for (const Tuple& rrow : right.rows()) {
-          Tuple joined = ConcatTuples(lrow, rrow);
-          if (!IsTruthy(bound->Eval(joined))) continue;
-          if (semi) {
-            matched = true;
-            break;
+      // Nested-loop join; the probe side still morselizes.
+      obs::AppendDetail(scope.get(), "nested_loop");
+      obs::SpanScope probe_scope(scope.get(), "native.join.probe");
+      obs::SetRowsIn(probe_scope.get(), lrows.size());
+      Bump(metrics_.join_probe_rows, lrows.size());
+      MorselPlan plan = PlanFor(lrows.size());
+      if (plan.serial()) {
+        for (const Tuple& lrow : lrows) {
+          bool matched = false;
+          for (const Tuple& rrow : rrows) {
+            Tuple joined = ConcatTuples(lrow, rrow);
+            if (!IsTruthy(bound->Eval(joined))) continue;
+            if (semi) {
+              matched = true;
+              break;
+            }
+            out.AddRow(std::move(joined));
           }
-          out.AddRow(std::move(joined));
+          if (semi && matched) out.AddRow(lrow);
         }
-        if (semi && matched) out.AddRow(lrow);
+      } else {
+        std::vector<std::vector<Tuple>> buffers(plan.morsel_count());
+        ParallelFor(plan, [&](size_t, const Morsel& m) {
+          std::vector<Tuple>& local = buffers[m.index];
+          for (size_t i = m.begin; i < m.end; ++i) {
+            const Tuple& lrow = lrows[i];
+            bool matched = false;
+            for (const Tuple& rrow : rrows) {
+              Tuple joined = ConcatTuples(lrow, rrow);
+              if (!IsTruthy(bound->Eval(joined))) continue;
+              if (semi) {
+                matched = true;
+                break;
+              }
+              local.push_back(std::move(joined));
+            }
+            if (semi && matched) local.push_back(lrow);
+          }
+        });
+        MergeBuffers(&buffers, &out);
       }
+      obs::SetRowsOut(probe_scope.get(), out.NumRows());
     }
     stats_->tuples_materialized += out.NumRows();
+    obs::SetRowsOut(scope.get(), out.NumRows());
     return out;
   }
 
-  StatusOr<Relation> ExecSetOp(const PlanNode& node) {
-    ASSIGN_OR_RETURN(Relation left, Execute(node.child(0)));
-    ASSIGN_OR_RETURN(Relation right, Execute(node.child(1)));
+  // Concatenates per-morsel row buffers into `out` in morsel order — the
+  // join point of every parallel region here.
+  static void MergeBuffers(std::vector<std::vector<Tuple>>* buffers,
+                           Relation* out) {
+    size_t total = 0;
+    for (const std::vector<Tuple>& local : *buffers) total += local.size();
+    out->Reserve(total);
+    for (std::vector<Tuple>& local : *buffers) {
+      for (Tuple& row : local) out->AddRow(std::move(row));
+    }
+  }
+
+  static const char* SetOpSpanName(PlanKind kind) {
+    switch (kind) {
+      case PlanKind::kUnion:
+        return "native.union";
+      case PlanKind::kIntersect:
+        return "native.intersect";
+      case PlanKind::kExcept:
+        return "native.except";
+      default:
+        return "native.setop";
+    }
+  }
+
+  StatusOr<Relation> ExecSetOp(const PlanNode& node, obs::Span* parent) {
+    obs::SpanScope scope(parent, SetOpSpanName(node.kind));
+    ASSIGN_OR_RETURN(Relation left, Execute(node.child(0), scope.get()));
+    ASSIGN_OR_RETURN(Relation right, Execute(node.child(1), scope.get()));
     if (left.schema().size() != right.schema().size()) {
       return Status::InvalidArgument("set operation inputs differ in arity");
     }
+    obs::SetRowsIn(scope.get(), left.NumRows() + right.NumRows());
     Relation out(left.schema());
     out.set_key_columns(left.key_columns());
     std::unordered_set<Tuple, TupleHash, TupleEq> seen;
     switch (node.kind) {
       case PlanKind::kUnion: {
+        // First-occurrence-wins duplicate elimination is inherently
+        // sequential (each insert decides the next); the union stays a
+        // serial pass over both inputs.
         for (const Relation* rel : {&left, &right}) {
           for (const Tuple& row : rel->rows()) {
             if (seen.insert(row).second) out.AddRow(row);
@@ -262,22 +437,38 @@ class Executor {
         }
         break;
       }
-      case PlanKind::kIntersect: {
-        std::unordered_set<Tuple, TupleHash, TupleEq> right_set(
-            right.rows().begin(), right.rows().end());
-        for (const Tuple& row : left.rows()) {
-          if (right_set.count(row) > 0 && seen.insert(row).second) {
-            out.AddRow(row);
-          }
-        }
-        break;
-      }
+      case PlanKind::kIntersect:
       case PlanKind::kExcept: {
+        // Membership of each left row in the right side is a pure hash
+        // probe, so it precomputes in concurrent morsels; the
+        // (order-dependent) duplicate-elimination emit stays serial and
+        // consumes the flags in input order — same rows, same order, as
+        // the serial probe-inside-the-loop.
         std::unordered_set<Tuple, TupleHash, TupleEq> right_set(
             right.rows().begin(), right.rows().end());
-        for (const Tuple& row : left.rows()) {
-          if (right_set.count(row) == 0 && seen.insert(row).second) {
-            out.AddRow(row);
+        const bool want_member = node.kind == PlanKind::kIntersect;
+        const std::vector<Tuple>& lrows = left.rows();
+        Bump(metrics_.setop_probe_rows, lrows.size());
+        MorselPlan plan = PlanFor(lrows.size());
+        if (plan.serial()) {
+          for (const Tuple& row : lrows) {
+            if ((right_set.count(row) > 0) == want_member &&
+                seen.insert(row).second) {
+              out.AddRow(row);
+            }
+          }
+        } else {
+          std::vector<uint8_t> member(lrows.size(), 0);
+          ParallelFor(plan, [&](size_t, const Morsel& m) {
+            for (size_t i = m.begin; i < m.end; ++i) {
+              member[i] = right_set.count(lrows[i]) > 0 ? 1 : 0;
+            }
+          });
+          for (size_t i = 0; i < lrows.size(); ++i) {
+            if ((member[i] != 0) == want_member &&
+                seen.insert(lrows[i]).second) {
+              out.AddRow(lrows[i]);
+            }
           }
         }
         break;
@@ -286,24 +477,62 @@ class Executor {
         return Status::Internal("not a set operation");
     }
     stats_->tuples_materialized += out.NumRows();
+    obs::SetRowsOut(scope.get(), out.NumRows());
     return out;
   }
 
-  StatusOr<Relation> ExecDistinct(const PlanNode& node) {
-    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+  StatusOr<Relation> ExecDistinct(const PlanNode& node, obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.distinct");
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child(), scope.get()));
+    obs::SetRowsIn(scope.get(), input.NumRows());
+    Bump(metrics_.distinct_rows, input.NumRows());
     Relation out(input.schema());
     out.set_key_columns(input.key_columns());
-    std::unordered_set<Tuple, TupleHash, TupleEq> seen;
-    seen.reserve(input.NumRows());
-    for (Tuple& row : *input.mutable_rows()) {
-      if (seen.insert(row).second) out.AddRow(std::move(row));
+    MorselPlan plan = PlanFor(input.NumRows());
+    if (plan.serial()) {
+      std::unordered_set<Tuple, TupleHash, TupleEq> seen;
+      seen.reserve(input.NumRows());
+      for (Tuple& row : *input.mutable_rows()) {
+        if (seen.insert(row).second) out.AddRow(std::move(row));
+      }
+    } else {
+      // Whole-tuple hashing (the expensive part of deduplication)
+      // precomputes in concurrent morsels; the serial emit then resolves
+      // each row against its hash bucket's previously emitted candidates,
+      // preserving first-occurrence-wins order exactly.
+      std::vector<Tuple>& rows = *input.mutable_rows();
+      std::vector<size_t> hashes(rows.size());
+      ParallelFor(plan, [&](size_t, const Morsel& m) {
+        for (size_t i = m.begin; i < m.end; ++i) {
+          hashes[i] = TupleHash()(rows[i]);
+        }
+      });
+      std::unordered_map<size_t, std::vector<uint32_t>> buckets;
+      buckets.reserve(rows.size());
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::vector<uint32_t>& candidates = buckets[hashes[i]];
+        bool duplicate = false;
+        for (uint32_t pos : candidates) {
+          if (TupleEq()(out.rows()[pos], rows[i])) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) {
+          candidates.push_back(static_cast<uint32_t>(out.NumRows()));
+          out.AddRow(std::move(rows[i]));
+        }
+      }
     }
     stats_->tuples_materialized += out.NumRows();
+    obs::SetRowsOut(scope.get(), out.NumRows());
     return out;
   }
 
-  StatusOr<Relation> ExecSort(const PlanNode& node) {
-    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+  StatusOr<Relation> ExecSort(const PlanNode& node, obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.sort");
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child(), scope.get()));
+    obs::SetRowsIn(scope.get(), input.NumRows());
     struct ResolvedKey {
       size_t index;
       bool descending;
@@ -314,8 +543,11 @@ class Executor {
       ASSIGN_OR_RETURN(size_t idx, input.schema().FindColumn(k.column));
       keys.push_back({idx, k.descending});
     }
-    // Tie-break on the relation key so the order (and any LIMIT cutoff
-    // above) is deterministic regardless of input row order.
+    // Stable sort with a tie-break on the relation key: equal-key runs keep
+    // their input order *and* the order (plus any LIMIT cutoff above) is
+    // deterministic regardless of how upstream operators ordered the input.
+    // Value::Compare is a strict total order including NULL and NaN, which
+    // std::stable_sort requires (UB otherwise) — see Value::Compare.
     const std::vector<size_t>& pk = input.key_columns();
     std::stable_sort(input.mutable_rows()->begin(), input.mutable_rows()->end(),
                      [&keys, &pk](const Tuple& a, const Tuple& b) {
@@ -330,28 +562,40 @@ class Executor {
                        return false;
                      });
     stats_->tuples_materialized += input.NumRows();
+    obs::SetRowsOut(scope.get(), input.NumRows());
     return input;
   }
 
-  StatusOr<Relation> ExecLimit(const PlanNode& node) {
-    ASSIGN_OR_RETURN(Relation input, Execute(node.child()));
+  StatusOr<Relation> ExecLimit(const PlanNode& node, obs::Span* parent) {
+    obs::SpanScope scope(parent, "native.limit");
+    ASSIGN_OR_RETURN(Relation input, Execute(node.child(), scope.get()));
+    obs::SetRowsIn(scope.get(), input.NumRows());
     if (input.NumRows() > node.limit) {
       input.mutable_rows()->resize(node.limit);
     }
     stats_->tuples_materialized += input.NumRows();
+    obs::SetRowsOut(scope.get(), input.NumRows());
     return input;
   }
 
   Catalog* catalog_;
   ExecStats* stats_;
+  const ParallelContext* parallel_;  // Null = serial.
+  NativeExecMetrics metrics_;        // All-null when metrics are off.
 };
 
 }  // namespace
 
 StatusOr<Relation> ExecutePlan(const PlanNode& node, Catalog* catalog,
+                               ExecStats* stats,
+                               const NativeExecOptions& options) {
+  Executor executor(catalog, stats, options);
+  return executor.Execute(node, options.span);
+}
+
+StatusOr<Relation> ExecutePlan(const PlanNode& node, Catalog* catalog,
                                ExecStats* stats) {
-  Executor executor(catalog, stats);
-  return executor.Execute(node);
+  return ExecutePlan(node, catalog, stats, NativeExecOptions());
 }
 
 }  // namespace prefdb

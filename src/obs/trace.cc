@@ -78,5 +78,25 @@ std::string Span::ToJson(bool include_timing) const {
   return out;
 }
 
+namespace {
+
+void CollectSpans(const Span& span, std::string_view prefix,
+                  std::vector<const Span*>* out) {
+  if (std::string_view(span.name).substr(0, prefix.size()) == prefix) {
+    out->push_back(&span);
+  }
+  for (const SpanPtr& child : span.children) {
+    CollectSpans(*child, prefix, out);
+  }
+}
+
+}  // namespace
+
+std::vector<const Span*> FindSpans(const Span& root, std::string_view prefix) {
+  std::vector<const Span*> out;
+  CollectSpans(root, prefix, &out);
+  return out;
+}
+
 }  // namespace obs
 }  // namespace prefdb

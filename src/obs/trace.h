@@ -99,6 +99,14 @@ class SpanScope {
   Stopwatch watch_;
 };
 
+/// Pre-order collection of every span in `root`'s tree (root included)
+/// whose name starts with `prefix`. Pre-order matches the deterministic
+/// adoption order, so for a fixed query the result sequence is stable. The
+/// equivalence tests use this to compare the native-operator subtrees
+/// across thread counts while ignoring strategy-level spans whose details
+/// (morsel counts, prefetch phases) legitimately vary with scheduling.
+std::vector<const Span*> FindSpans(const Span& root, std::string_view prefix);
+
 /// Annotation helpers; all no-op on null spans.
 inline void SetRowsIn(Span* span, size_t rows) {
   if (span != nullptr) span->rows_in = rows;

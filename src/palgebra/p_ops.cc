@@ -17,8 +17,7 @@ namespace {
 // Partitioning decision for a tuple-local operator: serial when no context
 // was supplied, otherwise per the context's knobs.
 MorselPlan PlanFor(size_t n, const ParallelContext* parallel) {
-  return MorselPlan::Make(n, parallel == nullptr ? ParallelContext::Serial()
-                                                 : *parallel);
+  return MorselPlan::Make(n, parallel);
 }
 
 // Annotates the caller-provided span with an operator's cardinalities and

@@ -29,6 +29,10 @@ MorselPlan MorselPlan::Make(size_t n, const ParallelContext& ctx) {
   return plan;
 }
 
+MorselPlan MorselPlan::Make(size_t n, const ParallelContext* ctx) {
+  return Make(n, ctx == nullptr ? ParallelContext::Serial() : *ctx);
+}
+
 void ParallelFor(const MorselPlan& plan,
                  const std::function<void(size_t, const Morsel&)>& fn) {
   if (plan.serial()) {

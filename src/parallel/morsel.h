@@ -32,6 +32,11 @@ class MorselPlan {
   /// `n < ctx.min_parallel_rows`, or when fewer than two morsels result.
   static MorselPlan Make(size_t n, const ParallelContext& ctx);
 
+  /// Pointer-taking convenience for operators whose parallelism is optional
+  /// plumbing: a null context means "serial". The p-operators and the
+  /// native executor both partition through this entry point.
+  static MorselPlan Make(size_t n, const ParallelContext* ctx);
+
   /// True when the region should run inline on the calling thread. Serial
   /// plans are executed by the *caller's original code path*, keeping
   /// threads=1 results bit-identical to pre-parallel builds.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <functional>
+#include <limits>
 
 #include "common/string_util.h"
 
@@ -48,6 +49,19 @@ int Value::Compare(const Value& other) const {
       }
       double a = NumericValue();
       double b = other.NumericValue();
+      // IEEE comparisons are all false against NaN, so the naive
+      // `<`/`>`-then-equal scheme reports NaN "equal" to every numeric —
+      // a non-transitive equivalence that breaks the strict weak ordering
+      // std::stable_sort requires (UB in ExecSort's comparator, and
+      // NaN-keyed rows landing in arbitrary positions). Order NaN after
+      // every other numeric instead, with NaN == NaN, which keeps Compare
+      // a total order.
+      bool a_nan = std::isnan(a);
+      bool b_nan = std::isnan(b);
+      if (a_nan || b_nan) {
+        if (a_nan && b_nan) return 0;
+        return a_nan ? 1 : -1;
+      }
       if (a < b) return -1;
       if (a > b) return 1;
       return 0;
@@ -71,8 +85,13 @@ size_t Value::Hash() const {
       if (static_cast<int64_t>(d) == v) return std::hash<double>{}(d);
       return std::hash<int64_t>{}(v);
     }
-    case ValueType::kDouble:
-      return std::hash<double>{}(AsDouble());
+    case ValueType::kDouble: {
+      // All NaN payloads compare equal under Compare(), so they must hash
+      // alike too; canonicalize before hashing.
+      double d = AsDouble();
+      if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
+      return std::hash<double>{}(d);
+    }
     case ValueType::kString:
       return std::hash<std::string>{}(AsString());
   }

@@ -168,6 +168,9 @@ CacheKey ShardKey(size_t shard, uint64_t i) {
 std::shared_ptr<CachedResult> EntryOfBytes(size_t bytes) {
   auto entry = std::make_shared<CachedResult>();
   entry->bytes = bytes;
+  // A nonzero recompute cost, so the admission policy (which rejects
+  // trivially recomputable values) lets these synthetic entries in.
+  entry->stats.rows_scanned = 10000;
   return entry;
 }
 
@@ -217,8 +220,7 @@ TEST(QueryCacheTest, ByteBudgetRejectsOversizeAndShrinksOnLimit) {
 TEST(QueryCacheTest, PinnedEntriesSurviveEviction) {
   QueryCache cache(nullptr, /*max_bytes=*/8 * 1000);
   cache.set_enabled(true);
-  auto stored = std::make_shared<CachedResult>();
-  stored->bytes = 600;
+  auto stored = EntryOfBytes(600);
   cache.Insert(ShardKey(0, 1), stored);
   // A reader holds the entry while it gets evicted by a newer insert.
   std::shared_ptr<const CachedResult> pinned = cache.Lookup(ShardKey(0, 1));
@@ -228,6 +230,43 @@ TEST(QueryCacheTest, PinnedEntriesSurviveEviction) {
   // The pinned snapshot is still fully usable.
   EXPECT_EQ(pinned->bytes, 600u);
   EXPECT_EQ(pinned->rel.NumRows(), 0u);
+}
+
+TEST(QueryCacheTest, AdmissionPolicyRejectsOversizeAndTrivialEntries) {
+  obs::MetricsRegistry metrics;
+  QueryCache cache(&metrics, /*max_bytes=*/8 * 1000);  // 1000 bytes/shard.
+  cache.set_enabled(true);
+
+  // Oversize: bigger than a whole shard's budget slice.
+  cache.Insert(ShardKey(0, 1), EntryOfBytes(5000));
+  EXPECT_EQ(cache.Lookup(ShardKey(0, 1)), nullptr);
+  EXPECT_EQ(cache.snapshot().admission_rejected, 1u);
+
+  // Trivial recompute: the miss execution touched no rows, so a hit would
+  // save nothing — not worth displacing useful entries.
+  auto trivial = std::make_shared<CachedResult>();
+  trivial->bytes = 100;
+  cache.Insert(ShardKey(0, 2), trivial);
+  EXPECT_EQ(cache.Lookup(ShardKey(0, 2)), nullptr);
+  EXPECT_EQ(cache.snapshot().admission_rejected, 2u);
+  EXPECT_EQ(cache.snapshot().insertions, 0u);
+
+  // A normally-sized, non-trivial entry is admitted; materialized-only
+  // work (e.g. a prefer subtree over an already-loaded relation) counts as
+  // recompute cost too.
+  auto useful = std::make_shared<CachedResult>();
+  useful->bytes = 100;
+  useful->stats.tuples_materialized = 42;
+  cache.Insert(ShardKey(0, 3), useful);
+  EXPECT_NE(cache.Lookup(ShardKey(0, 3)), nullptr);
+  QueryCache::Stats stats = cache.snapshot();
+  EXPECT_EQ(stats.admission_rejected, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+
+  // The registry counter mirrors the snapshot field, and ToString surfaces
+  // the rejection count for SHOW CACHE-style diagnostics.
+  EXPECT_EQ(metrics.counter("pref.cache.admission_rejected")->value(), 2u);
+  EXPECT_NE(cache.ToString().find("admission_rejected=2"), std::string::npos);
 }
 
 TEST(QueryCacheTest, HitMissCounters) {

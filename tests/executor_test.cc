@@ -1,5 +1,7 @@
 #include "engine/executor.h"
 
+#include <limits>
+
 #include "expr/expr_builder.h"
 #include "gtest/gtest.h"
 #include "test_util.h"
@@ -8,8 +10,10 @@ namespace prefdb {
 namespace {
 
 using namespace eb;  // NOLINT
+using testing_util::D;
 using testing_util::I;
 using testing_util::MakeMovieCatalog;
+using testing_util::N;
 using testing_util::S;
 
 class ExecutorTest : public ::testing::Test {
@@ -152,6 +156,42 @@ TEST_F(ExecutorTest, SortWithSecondaryKey) {
   // d1 movies first (2008 before 2004 due to DESC year).
   EXPECT_EQ(rel.rows()[0][1], S("Gran Torino"));
   EXPECT_EQ(rel.rows()[1][1], S("Million Dollar Baby"));
+}
+
+TEST_F(ExecutorTest, SortWithDuplicateKeysAndNanAndNullIsDeterministic) {
+  // Regression: Value::Compare used to report NaN "equal" to every other
+  // numeric, a non-transitive relation that made ExecSort's comparator
+  // violate std::stable_sort's strict-weak-ordering precondition (UB, and
+  // in practice NaN-keyed rows landing anywhere). Duplicate keys, NULL and
+  // NaN must all land in one deterministic order: NULL first (lowest type
+  // rank), then numerics, then NaN, duplicates tie-broken by primary key.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  Status st = catalog_.CreateTable(
+      "RATINGS_EDGE",
+      Schema({{"", "r_id", ValueType::kInt}, {"", "score", ValueType::kDouble}}),
+      {
+          {I(1), D(2.0)},
+          {I(2), D(nan)},
+          {I(3), N()},
+          {I(4), D(2.0)},
+          {I(5), D(1.0)},
+          {I(6), D(nan)},
+      },
+      {"r_id"});
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  Relation asc =
+      Run(plan::Sort({{"score", /*descending=*/false}}, plan::Scan("RATINGS_EDGE")));
+  ASSERT_EQ(asc.NumRows(), 6u);
+  std::vector<int64_t> asc_ids;
+  for (const Tuple& row : asc.rows()) asc_ids.push_back(row[0].AsInt());
+  EXPECT_EQ(asc_ids, (std::vector<int64_t>{3, 5, 1, 4, 2, 6}));
+
+  Relation desc =
+      Run(plan::Sort({{"score", /*descending=*/true}}, plan::Scan("RATINGS_EDGE")));
+  std::vector<int64_t> desc_ids;
+  for (const Tuple& row : desc.rows()) desc_ids.push_back(row[0].AsInt());
+  EXPECT_EQ(desc_ids, (std::vector<int64_t>{2, 6, 1, 4, 5, 3}));
 }
 
 TEST_F(ExecutorTest, LimitTruncates) {

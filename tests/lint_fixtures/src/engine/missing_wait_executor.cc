@@ -1,0 +1,25 @@
+// Fixture: executor-style code — a morsel loop whose per-morsel tasks are
+// spawned onto the pool but never joined. The operator would return with
+// worker slots still writing into its (about-to-be-destroyed) per-morsel
+// buffers, and any task exception is swallowed — must trip taskgroup-wait
+// in src/engine just like everywhere else.
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace prefdb {
+
+void ProbeMorselsWithoutJoin(size_t morsel_count) {
+  std::vector<std::vector<int>> buffers(morsel_count);
+  TaskGroup probe_tasks(&ThreadPool::Shared());
+  for (size_t m = 0; m < morsel_count; ++m) {
+    probe_tasks.Run([&buffers, m] { buffers[m].push_back(0); });
+  }
+  // Missing probe_tasks.Wait() here: the merge below reads racing buffers.
+  for (const std::vector<int>& local : buffers) {
+    (void)local.size();
+  }
+}
+
+}  // namespace prefdb

@@ -43,6 +43,13 @@ TEST(LintFixtures, TaskGroupWithoutWaitTriggers) {
   ExpectOnlyRule("src/parallel/missing_wait.cc", "taskgroup-wait");
 }
 
+TEST(LintFixtures, ExecutorTaskGroupWithoutWaitTriggers) {
+  // The morsel-parallel native operators put fork/join code in src/engine;
+  // the taskgroup-wait rule must catch an unjoined group there too (it is
+  // not scoped to src/parallel).
+  ExpectOnlyRule("src/engine/missing_wait_executor.cc", "taskgroup-wait");
+}
+
 TEST(LintFixtures, CatalogMutationOutsideEngineTriggers) {
   ExpectOnlyRule("src/exec/catalog_mutation.cc", "catalog-mutation");
 }

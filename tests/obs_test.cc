@@ -276,6 +276,49 @@ TEST(ExplainAnalyzeTest, StrategySpecificPhasesAppear) {
       << r->explain_analyze;
 }
 
+TEST(ExplainAnalyzeTest, NativeOperatorSpansAppearUnderDelegatedJoin) {
+  Session* session = SharedImdbSession();
+  // FtP delegates the whole non-preference fragment — joins included — so
+  // the native executor's operator spans must show up as children of the
+  // delegated-query span, with build/probe row counts, making visible
+  // where delegated time goes.
+  const std::string sql =
+      "EXPLAIN ANALYZE "
+      "SELECT title, year FROM MOVIES "
+      "JOIN DIRECTORS ON MOVIES.d_id = DIRECTORS.d_id "
+      "WHERE year >= 1990 "
+      "PREFERRING (year >= 2000) SCORE recency(year, 2011) CONF 0.9 RANKED";
+  QueryOptions options;
+  options.strategy = StrategyKind::kFtP;
+  auto r = session->Query(sql, options);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const std::string& rendered = r->explain_analyze;
+  EXPECT_NE(rendered.find("native.join"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("native.join.build"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("native.join.probe"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("native.scan"), std::string::npos) << rendered;
+  // The build/probe spans carry cardinalities (rows=IN -> OUT), and the
+  // join span records its physical algorithm.
+  ASSERT_NE(r->trace, nullptr);
+  std::vector<const obs::Span*> builds =
+      obs::FindSpans(*r->trace, "native.join.build");
+  std::vector<const obs::Span*> probes =
+      obs::FindSpans(*r->trace, "native.join.probe");
+  ASSERT_FALSE(builds.empty());
+  ASSERT_FALSE(probes.empty());
+  EXPECT_NE(builds[0]->rows_in, obs::Span::kUnset);
+  EXPECT_NE(builds[0]->rows_out, obs::Span::kUnset);
+  EXPECT_NE(probes[0]->rows_in, obs::Span::kUnset);
+  EXPECT_NE(probes[0]->rows_out, obs::Span::kUnset);
+  std::vector<const obs::Span*> joins = obs::FindSpans(*r->trace, "native.join");
+  EXPECT_EQ(joins[0]->detail, "hash");
+  // The per-operator metrics landed in the engine registry.
+  auto& metrics = session->engine().metrics();
+  EXPECT_GT(metrics.counter("pref.native.scan_rows")->value(), 0u);
+  EXPECT_GT(metrics.counter("pref.native.join_build_rows")->value(), 0u);
+  EXPECT_GT(metrics.counter("pref.native.join_probe_rows")->value(), 0u);
+}
+
 TEST(ExplainAnalyzeTest, GbuRegionPhasesAppear) {
   Session* session = SharedImdbSession();
   // A set-operation query with prefers on both sides forces a GBU region

@@ -1,5 +1,6 @@
 #include "types/value.h"
 
+#include <limits>
 #include <unordered_set>
 
 #include "gtest/gtest.h"
@@ -43,6 +44,35 @@ TEST(ValueTest, TotalOrder) {
   EXPECT_LT(Value::Double(1.5), Value::Int(2));
   EXPECT_LT(Value::String("a"), Value::String("b"));
   EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NanOrdersAfterEveryOtherNumeric) {
+  // The naive </>-then-equal comparison reports NaN "equal" to every
+  // numeric (all IEEE comparisons against NaN are false), which is not
+  // transitive: 1 ~ NaN and NaN ~ 2 but 1 < 2. That violates the strict
+  // weak ordering std::stable_sort requires. NaN now sorts after every
+  // other numeric and equals itself.
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_LT(Value::Double(1.0), Value::Double(nan));
+  EXPECT_LT(Value::Int(1), Value::Double(nan));
+  EXPECT_GT(Value::Double(nan).Compare(Value::Double(1e308)), 0);
+  EXPECT_EQ(Value::Double(nan).Compare(Value::Double(nan)), 0);
+  EXPECT_EQ(Value::Double(nan), Value::Double(-nan));
+  // Still within the numeric band of the cross-type order.
+  EXPECT_LT(Value::Null(), Value::Double(nan));
+  EXPECT_LT(Value::Double(nan), Value::String(""));
+  // Transitivity spot-check over a NaN-containing chain.
+  EXPECT_LT(Value::Double(1.0), Value::Double(2.0));
+  EXPECT_LT(Value::Double(2.0), Value::Double(nan));
+  EXPECT_LT(Value::Double(1.0), Value::Double(nan));
+}
+
+TEST(ValueTest, NanHashesConsistentlyWithEquality) {
+  double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(Value::Double(nan).Hash(), Value::Double(-nan).Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Double(nan));
+  EXPECT_TRUE(set.count(Value::Double(-nan)) > 0);
 }
 
 TEST(ValueTest, LargeIntegersCompareExactly) {
