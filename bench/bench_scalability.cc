@@ -234,6 +234,8 @@ void RunCacheSweep(Session* session, const std::string& sql,
     cold.millis = cold.p50_ms;
     cold.p95_ms = cold_millis[std::min(cold_millis.size() - 1,
                                        (cold_millis.size() * 95) / 100)];
+    cold.p99_ms = cold_millis[std::min(cold_millis.size() - 1,
+                                       (cold_millis.size() * 99) / 100)];
     cold.max_ms = cold_millis.back();
 
     // Warm: the last cold run above primed the cache; every repetition
@@ -279,8 +281,52 @@ void RunCacheSweep(Session* session, const std::string& sql,
   }
 }
 
-int Main() {
+// --trace-out support: one representative workload query runs traced at
+// TraceLevel::kMorsel (per-morsel slices under every operator span) and the
+// timed Chrome trace-event document is written to `path` — load it at
+// ui.perfetto.dev or chrome://tracing. Uses the real timings (unlike the
+// byte-identical untimed EXPLAIN ANALYZE FORMAT CHROME rendering): a bench
+// trace exists to show where the time went.
+int WriteChromeTrace(Session* session, const std::string& sql,
+                     const std::string& path) {
+  QueryOptions options;
+  options.trace = true;
+  options.trace_level = obs::TraceLevel::kMorsel;
+  auto result = session->Query(sql, options);
+  if (!result.ok() || result->trace == nullptr) {
+    std::fprintf(stderr, "--trace-out run failed: %s\n",
+                 result.ok() ? "no trace collected"
+                             : result.status().ToString().c_str());
+    return 1;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "--trace-out: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::string doc = result->trace->ToChromeTrace(true);
+  std::fwrite(doc.data(), 1, doc.size(), out);
+  std::fclose(out);
+  std::printf("\nWrote Chrome trace (%zu bytes) to %s\n", doc.size(),
+              path.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
   BenchEnv env = GetBenchEnv();
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_scalability [--trace-out <chrome_trace.json>]\n");
+      return 2;
+    }
+  }
 
   // Fast path for CI: PREFDB_BENCH_ONLY=native skips the scalability table
   // and the strategy/cache sweeps, generating one dataset at the base SF
@@ -297,6 +343,9 @@ int Main() {
     }
     Session session(std::move(*catalog));
     RunNativeSweep(&session, env);
+    if (!trace_out.empty()) {
+      return WriteChromeTrace(&session, ImdbWorkload()[0].sql, trace_out);
+    }
     return 0;
   }
 
@@ -361,6 +410,9 @@ int Main() {
       "(BU) and per-prefer-subtree temp materializations (GBU) evaluate as "
       "concurrent tasks — so their curves flatten only once the plan runs "
       "out of independent work.\n");
+  if (!trace_out.empty()) {
+    return WriteChromeTrace(&session, sql, trace_out);
+  }
   return 0;
 }
 
@@ -368,4 +420,4 @@ int Main() {
 }  // namespace bench
 }  // namespace prefdb
 
-int main() { return prefdb::bench::Main(); }
+int main(int argc, char** argv) { return prefdb::bench::Main(argc, argv); }

@@ -51,6 +51,7 @@ Measurement MeasureQuery(Session* session, const std::string& sql,
   Measurement m = runs[n / 2].second;
   m.p50_ms = m.millis;
   m.p95_ms = runs[rank(0.95)].first;
+  m.p99_ms = runs[rank(0.99)].first;
   m.max_ms = runs[n - 1].first;
   return m;
 }
@@ -73,8 +74,8 @@ std::FILE* OpenBenchJson(const std::string& path, const std::string& bench,
 std::string MeasurementJsonFields(const Measurement& m) {
   return StrFormat(
       "\"wall_ms\": %.3f, \"p50_ms\": %.3f, \"p95_ms\": %.3f, "
-      "\"max_ms\": %.3f",
-      m.millis, m.p50_ms, m.p95_ms, m.max_ms);
+      "\"p99_ms\": %.3f, \"max_ms\": %.3f",
+      m.millis, m.p50_ms, m.p95_ms, m.p99_ms, m.max_ms);
 }
 
 void AppendTraceJson(std::FILE* json, const std::string& bench,

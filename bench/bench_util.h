@@ -24,13 +24,15 @@ struct BenchEnv {
 BenchEnv GetBenchEnv();
 
 /// One measured configuration: the wall-time distribution over the
-/// repetitions (p50/p95/max; nearest-rank percentiles) rather than a single
-/// number — a mean hides the tail that morsel dispatch and pool contention
-/// produce. `millis` stays the median for backward-compatible callers.
+/// repetitions (p50/p95/p99/max; nearest-rank percentiles) rather than a
+/// single number — a mean hides the tail that morsel dispatch and pool
+/// contention produce. `millis` stays the median for backward-compatible
+/// callers.
 struct Measurement {
   double millis = 0.0;   // == p50_ms.
   double p50_ms = 0.0;
   double p95_ms = 0.0;
+  double p99_ms = 0.0;
   double max_ms = 0.0;
   ExecStats stats;       // Stats of the median run.
   size_t result_rows = 0;

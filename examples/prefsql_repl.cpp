@@ -2,7 +2,7 @@
 // with PREFERRING clauses and see scored, filtered answers — plus the
 // optimized extended plan and execution statistics.
 //
-//   $ ./prefsql_repl [scale]
+//   $ ./prefsql_repl [scale] [--telemetry[=port]]
 //   prefsql> SELECT title FROM MOVIES
 //            PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9
 //            TOP 5 BY SCORE
@@ -20,6 +20,7 @@
 #include "common/string_util.h"
 #include "datagen/imdb_gen.h"
 #include "exec/runner.h"
+#include "obs/telemetry_server.h"
 
 using namespace prefdb;  // NOLINT: example code.
 
@@ -75,7 +76,9 @@ bool HandleCommand(const std::string& line, Session* session,
         "  \\strategy <name>    ftp | bu | gbu | pluginbasic | plugincombined\n"
         "  \\quit               exit\n"
         "  <PrefSQL>           submit with an empty line or ';'\n"
-        "  SET CACHE ON|OFF|CLEAR|LIMIT <bytes>   result-cache pragma\n");
+        "  SET CACHE ON|OFF|CLEAR|LIMIT <bytes>   result-cache pragma\n"
+        "  SET SLOWLOG <ms>|OFF                   slow-query log threshold\n"
+        "  EXPLAIN ANALYZE <q> [FORMAT CHROME]    span tree / Chrome trace\n");
     return true;
   }
   return false;
@@ -85,7 +88,20 @@ bool HandleCommand(const std::string& line, Session* session,
 
 int main(int argc, char** argv) {
   ImdbOptions gen;
-  gen.scale = argc > 1 ? std::atof(argv[1]) : 0.003;
+  gen.scale = 0.003;
+  bool telemetry = false;
+  int telemetry_port = 0;  // 0 = ephemeral.
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--telemetry") {
+      telemetry = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry = true;
+      telemetry_port = std::atoi(arg.c_str() + 12);
+    } else {
+      gen.scale = std::atof(arg.c_str());
+    }
+  }
   if (gen.scale <= 0) gen.scale = 0.003;
   auto catalog = GenerateImdb(gen);
   if (!catalog.ok()) {
@@ -94,6 +110,23 @@ int main(int argc, char** argv) {
   }
   Session session(std::move(*catalog));
   QueryOptions options;
+
+  // --telemetry serves live /metrics, /metrics.json, /queries and /healthz
+  // on localhost while the shell runs; scrape with curl or Prometheus.
+  obs::TelemetryServer telemetry_server({
+      .port = telemetry_port,
+      .metrics = &session.engine().metrics(),
+      .query_log = &session.engine().query_log(),
+  });
+  if (telemetry) {
+    Status started = telemetry_server.Start();
+    if (!started.ok()) {
+      std::printf("telemetry: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("telemetry: http://127.0.0.1:%d/metrics\n",
+                telemetry_server.port());
+  }
 
   std::printf(
       "prefdb PrefSQL shell — IMDB-style database at SF=%.4g "

@@ -11,11 +11,16 @@
 #   bench   bench_scalability fast path (PREFDB_BENCH_ONLY=native at a tiny
 #           scale) — fails if BENCH_native.json stops carrying the
 #           native-operator phase rows and native.* span names
+#   telemetry  boots tools/telemetry_smoke (real HTTP server on an ephemeral
+#           port), curls /healthz and /metrics, checks the Prometheus
+#           exposition carries the pref_* metric families, and validates the
+#           kMorsel Chrome trace it wrote with tools/trace_check
 #
 # Every stage is on by default and individually skippable:
 #
 #   scripts/run_checks.sh [--no-tier1] [--no-lint] [--no-tidy]
 #                         [--no-asan] [--no-tsan] [--no-bench]
+#                         [--no-telemetry]
 #
 # (--no-tsan alone reproduces the historical fast-iteration mode.)
 set -euo pipefail
@@ -23,6 +28,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_TIER1=1 RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1 RUN_BENCH=1
+RUN_TELEMETRY=1
 for arg in "$@"; do
   case "$arg" in
     --no-tier1) RUN_TIER1=0 ;;
@@ -31,6 +37,7 @@ for arg in "$@"; do
     --no-asan)  RUN_ASAN=0 ;;
     --no-tsan)  RUN_TSAN=0 ;;
     --no-bench) RUN_BENCH=0 ;;
+    --no-telemetry) RUN_TELEMETRY=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -91,6 +98,74 @@ if [ "$RUN_BENCH" -eq 1 ]; then
       exit 1
     fi
   done
+fi
+
+if [ "$RUN_TELEMETRY" -eq 1 ]; then
+  echo "== telemetry: live /metrics scrape + Chrome-trace gate =="
+  if ! command -v curl >/dev/null 2>&1; then
+    echo "curl not installed; skipping telemetry stage"
+  else
+    cmake -B build -S . >/dev/null
+    cmake --build build -j --target telemetry_smoke trace_check
+    TELEMETRY_TMP="$(mktemp -d)"
+    cleanup_telemetry() {
+      [ -n "${HOLD_PID:-}" ] && kill "$HOLD_PID" 2>/dev/null
+      [ -n "${SMOKE_PID:-}" ] && wait "$SMOKE_PID" 2>/dev/null
+      rm -rf "$TELEMETRY_TMP"
+    }
+    trap cleanup_telemetry EXIT
+    # telemetry_smoke serves until stdin reaches EOF: the fifo writer keeps
+    # the pipe open while we scrape, and killing it shuts the server down.
+    mkfifo "$TELEMETRY_TMP/hold"
+    sleep 120 > "$TELEMETRY_TMP/hold" &
+    HOLD_PID=$!
+    build/tools/telemetry_smoke/telemetry_smoke \
+      --trace-out="$TELEMETRY_TMP/trace.json" \
+      < "$TELEMETRY_TMP/hold" > "$TELEMETRY_TMP/smoke.out" &
+    SMOKE_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+      PORT="$(sed -n 's/^PORT=//p' "$TELEMETRY_TMP/smoke.out" | head -n1)"
+      [ -n "$PORT" ] && break
+      if ! kill -0 "$SMOKE_PID" 2>/dev/null; then
+        echo "telemetry gate: smoke tool died before publishing its port" >&2
+        cat "$TELEMETRY_TMP/smoke.out" >&2
+        exit 1
+      fi
+      sleep 0.1
+    done
+    if [ -z "$PORT" ]; then
+      echo "telemetry gate: no PORT= line from telemetry_smoke" >&2
+      exit 1
+    fi
+
+    curl -fsS "http://127.0.0.1:$PORT/healthz" | grep -qx "ok" || {
+      echo "telemetry gate: /healthz did not answer ok" >&2; exit 1; }
+    curl -fsS "http://127.0.0.1:$PORT/metrics" > "$TELEMETRY_TMP/metrics"
+    # The exposition must carry the counter families the smoke workload
+    # touches plus the scrape-time gauges (src/obs/metric_names.h).
+    for needle in '# TYPE pref_cache_hits counter' \
+                  '# TYPE pref_native_scan_rows counter' \
+                  '# TYPE pref_pool_queue_depth gauge' \
+                  '# TYPE pref_querylog_size gauge'; do
+      if ! grep -qF -- "$needle" "$TELEMETRY_TMP/metrics"; then
+        echo "telemetry gate: '$needle' missing from /metrics" >&2
+        exit 1
+      fi
+    done
+    curl -fsS "http://127.0.0.1:$PORT/queries" | grep -qF '"records"' || {
+      echo "telemetry gate: /queries missing records array" >&2; exit 1; }
+
+    # The kMorsel EXPLAIN ANALYZE trace the smoke wrote must be a valid
+    # Chrome trace-event document (independent JSON parser, no prefdb code).
+    build/tools/trace_check/trace_check "$TELEMETRY_TMP/trace.json"
+
+    kill "$HOLD_PID" 2>/dev/null || true
+    wait "$SMOKE_PID" 2>/dev/null || true
+    HOLD_PID="" SMOKE_PID=""
+    trap - EXIT
+    rm -rf "$TELEMETRY_TMP"
+  fi
 fi
 
 echo "All checks passed."

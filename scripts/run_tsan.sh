@@ -23,7 +23,8 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 fi
 cmake --build "$BUILD_DIR" -j --target \
-  thread_pool_test parallel_equivalence_test obs_test cache_test
+  thread_pool_test parallel_equivalence_test obs_test cache_test \
+  telemetry_test
 
 # halt_on_error: fail fast on the first report instead of drowning it in
 # follow-on races; second_deadlock_stack: full stacks for lock inversions.

@@ -1,6 +1,7 @@
 #include "cache/query_cache.h"
 
 #include "common/string_util.h"
+#include "obs/metric_names.h"
 
 namespace prefdb {
 namespace cache {
@@ -42,10 +43,10 @@ size_t EstimateScoreRelationBytes(const ScoreRelation& scores) {
 QueryCache::QueryCache(obs::MetricsRegistry* metrics, size_t max_bytes)
     : max_bytes_(max_bytes), metrics_(metrics) {
   if (metrics_ != nullptr) {
-    hit_counter_ = metrics_->counter("pref.cache.hits");
-    miss_counter_ = metrics_->counter("pref.cache.misses");
-    eviction_counter_ = metrics_->counter("pref.cache.evictions");
-    admission_counter_ = metrics_->counter("pref.cache.admission_rejected");
+    hit_counter_ = metrics_->counter(obs::kPrefCacheHits);
+    miss_counter_ = metrics_->counter(obs::kPrefCacheMisses);
+    eviction_counter_ = metrics_->counter(obs::kPrefCacheEvictions);
+    admission_counter_ = metrics_->counter(obs::kPrefCacheAdmissionRejected);
     PublishGauges();
   }
 }
@@ -156,12 +157,21 @@ void QueryCache::EvictLocked(Shard* shard, size_t budget) {
 
 void QueryCache::PublishGauges() {
   if (metrics_ == nullptr) return;
-  metrics_->SetGauge("pref.cache.bytes",
+  metrics_->SetGauge(obs::kPrefCacheBytes,
                      static_cast<double>(
                          total_bytes_.load(std::memory_order_relaxed)));
-  metrics_->SetGauge("pref.cache.entries",
+  metrics_->SetGauge(obs::kPrefCacheEntries,
                      static_cast<double>(
                          entry_count_.load(std::memory_order_relaxed)));
+}
+
+std::vector<size_t> QueryCache::ShardBytes() const {
+  std::vector<size_t> bytes(kShards);
+  for (size_t i = 0; i < kShards; ++i) {
+    MutexLock lock(&shards_[i].mu);
+    bytes[i] = shards_[i].bytes;
+  }
+  return bytes;
 }
 
 QueryCache::Stats QueryCache::snapshot() const {

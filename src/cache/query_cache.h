@@ -8,6 +8,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "cache/fingerprint.h"
 #include "common/mutex.h"
@@ -111,13 +112,22 @@ class QueryCache {
   };
   Stats snapshot() const;
 
+  /// Resident bytes per shard, indexed by shard number — the source for the
+  /// per-shard pref.cache.shard_bytes.<i> telemetry gauges. Takes each
+  /// shard lock briefly; the vector is a point-in-time snapshot, not an
+  /// atomic cross-shard view.
+  std::vector<size_t> ShardBytes() const;
+
+  /// Number of LRU shards (the length of ShardBytes()).
+  static constexpr size_t shard_count() { return kShards; }
+
   std::string ToString() const;
 
  private:
   static constexpr size_t kShards = 8;
 
   struct Shard {
-    Mutex mu;
+    mutable Mutex mu;
     // Front = most recently used. The index maps key -> list position.
     std::list<std::pair<CacheKey, std::shared_ptr<const CachedResult>>> lru
         PREFDB_GUARDED_BY(mu);

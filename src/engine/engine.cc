@@ -30,6 +30,7 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
     exec.parallel = &parallel_;
     exec.span = span;
     exec.metrics = &native_metrics_;
+    exec.trace_level = trace_level_;
     if (!native_optimizer_enabled_) {
       return ExecutePlan(query, &catalog_, s, exec);
     }

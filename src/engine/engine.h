@@ -7,9 +7,12 @@
 #include "cache/query_cache.h"
 #include "engine/exec_stats.h"
 #include "engine/executor.h"
+#include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "parallel/parallel_context.h"
+#include "parallel/thread_pool.h"
 #include "plan/plan.h"
 #include "storage/catalog.h"
 #include "types/relation.h"
@@ -32,16 +35,36 @@ class Engine {
     // Resolve the native executor's counters once so each delegated query
     // hands the executor pre-looked-up handles (no registry locking on the
     // per-operator path).
-    native_metrics_.scan_rows = metrics_.counter("pref.native.scan_rows");
+    native_metrics_.scan_rows = metrics_.counter(obs::kPrefNativeScanRows);
     native_metrics_.join_build_rows =
-        metrics_.counter("pref.native.join_build_rows");
+        metrics_.counter(obs::kPrefNativeJoinBuildRows);
     native_metrics_.join_probe_rows =
-        metrics_.counter("pref.native.join_probe_rows");
+        metrics_.counter(obs::kPrefNativeJoinProbeRows);
     native_metrics_.setop_probe_rows =
-        metrics_.counter("pref.native.setop_probe_rows");
-    native_metrics_.distinct_rows = metrics_.counter("pref.native.distinct_rows");
+        metrics_.counter(obs::kPrefNativeSetopProbeRows);
+    native_metrics_.distinct_rows = metrics_.counter(obs::kPrefNativeDistinctRows);
     native_metrics_.parallel_regions =
-        metrics_.counter("pref.native.parallel_regions");
+        metrics_.counter(obs::kPrefNativeParallelRegions);
+    // Live gauges: refreshed at every metrics export (scrape time), so
+    // /metrics always reflects the current cache residency, pool pressure
+    // and query-log occupancy without the hot paths publishing continuously.
+    // The hook captures `this`; it dies with metrics_ (a member), so it
+    // cannot outlive the state it reads.
+    metrics_.AddRefreshHook([this] {
+      std::vector<size_t> shard_bytes = cache_.ShardBytes();
+      for (size_t i = 0; i < shard_bytes.size(); ++i) {
+        metrics_.SetGauge(
+            std::string(obs::kPrefCacheShardBytesPrefix) + std::to_string(i),
+            static_cast<double>(shard_bytes[i]));
+      }
+      metrics_.SetGauge(
+          obs::kPrefPoolQueueDepth,
+          static_cast<double>(ThreadPool::Shared().queue_depth()));
+      metrics_.SetGauge(obs::kPrefQuerylogSize,
+                        static_cast<double>(query_log_.size()));
+      metrics_.SetGauge(obs::kPrefQuerylogDropped,
+                        static_cast<double>(query_log_.dropped()));
+    });
   }
 
   Engine(const Engine&) = delete;
@@ -125,22 +148,36 @@ class Engine {
   const ParallelContext& parallel_context() const { return parallel_; }
   void set_parallel_context(const ParallelContext& ctx) { parallel_ = ctx; }
 
+  /// Trace granularity for delegated executions (obs::TraceLevel); at
+  /// kMorsel the native operators record per-morsel slices. Installed per
+  /// query by the Session alongside the parallel context.
+  obs::TraceLevel trace_level() const { return trace_level_; }
+  void set_trace_level(obs::TraceLevel level) { trace_level_ = level; }
+
   /// The preference-aware result cache shared by every query against this
   /// engine: delegated-scan relations and prefer-subtree outputs, keyed by
   /// plan/preference fingerprints (src/cache). Off by default.
   cache::QueryCache* cache() { return &cache_; }
   const cache::QueryCache& cache() const { return cache_; }
 
+  /// The structured query log: a ring buffer of recent query records the
+  /// Session appends to and the telemetry endpoint (/queries) serves. Also
+  /// carries the `SET SLOWLOG` threshold.
+  obs::QueryLog& query_log() { return query_log_; }
+  const obs::QueryLog& query_log() const { return query_log_; }
+
  private:
   Catalog catalog_;
   ExecStats stats_;
   obs::MetricsRegistry metrics_;
   cache::QueryCache cache_{&metrics_};
+  obs::QueryLog query_log_;
   obs::Counter* query_count_;     // "engine.queries"
   obs::Histogram* query_micros_;  // "engine.query_micros"
   NativeExecMetrics native_metrics_;  // "pref.native.*"
   bool native_optimizer_enabled_ = true;
   ParallelContext parallel_;
+  obs::TraceLevel trace_level_ = obs::TraceLevel::kOperator;
 };
 
 }  // namespace prefdb

@@ -19,6 +19,7 @@ class Executor {
       : catalog_(catalog),
         stats_(stats),
         parallel_(options.parallel),
+        trace_level_(options.trace_level),
         metrics_(options.metrics == nullptr ? NativeExecMetrics{}
                                             : *options.metrics) {}
 
@@ -75,6 +76,15 @@ class Executor {
     if (counter != nullptr) counter->Increment(n);
   }
 
+  // The span the region's per-morsel slices attach to: the operator span at
+  // TraceLevel::kMorsel, null otherwise (ParallelForTraced degrades to a
+  // plain ParallelFor on null). A non-null result also forces serial plans
+  // through the buffered morsel path, so the single covering morsel gets
+  // its slice and the trace shape stays a pure function of the plan.
+  obs::Span* MorselParent(obs::Span* op_span) const {
+    return trace_level_ == obs::TraceLevel::kMorsel ? op_span : nullptr;
+  }
+
   StatusOr<Relation> ExecScan(const PlanNode& node, const Expr* predicate,
                               obs::Span* parent) {
     obs::SpanScope scope(parent, "native.scan");
@@ -128,7 +138,8 @@ class Executor {
       Bump(metrics_.scan_rows, rows.size());
       obs::SetRowsIn(scope.get(), rows.size());
       MorselPlan plan = PlanFor(rows.size());
-      if (plan.serial()) {
+      obs::Span* morsel_parent = MorselParent(scope.get());
+      if (plan.serial() && morsel_parent == nullptr) {
         for (const Tuple& row : rows) {
           if (IsTruthy(bound->Eval(row))) out.AddRow(row);
         }
@@ -137,7 +148,7 @@ class Executor {
         // `bound`. Each morsel filters into its own buffer; concatenating
         // the buffers in morsel order reproduces the serial row order.
         std::vector<std::vector<Tuple>> kept(plan.morsel_count());
-        ParallelFor(plan, [&](size_t, const Morsel& m) {
+        ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
           std::vector<Tuple>& local = kept[m.index];
           for (size_t i = m.begin; i < m.end; ++i) {
             if (IsTruthy(bound->Eval(rows[i]))) local.push_back(rows[i]);
@@ -300,7 +311,8 @@ class Executor {
       obs::SetRowsIn(probe_scope.get(), lrows.size());
       Bump(metrics_.join_probe_rows, lrows.size());
       MorselPlan plan = PlanFor(lrows.size());
-      if (plan.serial()) {
+      obs::Span* morsel_parent = MorselParent(probe_scope.get());
+      if (plan.serial() && morsel_parent == nullptr) {
         for (const Tuple& lrow : lrows) {
           auto it = build.find(lrow[li]);
           if (it == build.end()) continue;
@@ -320,7 +332,7 @@ class Executor {
         // Concatenating the buffers in morsel order reproduces the serial
         // output row order exactly.
         std::vector<std::vector<Tuple>> buffers(plan.morsel_count());
-        ParallelFor(plan, [&](size_t, const Morsel& m) {
+        ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
           std::vector<Tuple>& local = buffers[m.index];
           for (size_t i = m.begin; i < m.end; ++i) {
             const Tuple& lrow = lrows[i];
@@ -347,7 +359,8 @@ class Executor {
       obs::SetRowsIn(probe_scope.get(), lrows.size());
       Bump(metrics_.join_probe_rows, lrows.size());
       MorselPlan plan = PlanFor(lrows.size());
-      if (plan.serial()) {
+      obs::Span* morsel_parent = MorselParent(probe_scope.get());
+      if (plan.serial() && morsel_parent == nullptr) {
         for (const Tuple& lrow : lrows) {
           bool matched = false;
           for (const Tuple& rrow : rrows) {
@@ -363,7 +376,7 @@ class Executor {
         }
       } else {
         std::vector<std::vector<Tuple>> buffers(plan.morsel_count());
-        ParallelFor(plan, [&](size_t, const Morsel& m) {
+        ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
           std::vector<Tuple>& local = buffers[m.index];
           for (size_t i = m.begin; i < m.end; ++i) {
             const Tuple& lrow = lrows[i];
@@ -450,7 +463,8 @@ class Executor {
         const std::vector<Tuple>& lrows = left.rows();
         Bump(metrics_.setop_probe_rows, lrows.size());
         MorselPlan plan = PlanFor(lrows.size());
-        if (plan.serial()) {
+        obs::Span* morsel_parent = MorselParent(scope.get());
+        if (plan.serial() && morsel_parent == nullptr) {
           for (const Tuple& row : lrows) {
             if ((right_set.count(row) > 0) == want_member &&
                 seen.insert(row).second) {
@@ -459,7 +473,7 @@ class Executor {
           }
         } else {
           std::vector<uint8_t> member(lrows.size(), 0);
-          ParallelFor(plan, [&](size_t, const Morsel& m) {
+          ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
             for (size_t i = m.begin; i < m.end; ++i) {
               member[i] = right_set.count(lrows[i]) > 0 ? 1 : 0;
             }
@@ -489,7 +503,8 @@ class Executor {
     Relation out(input.schema());
     out.set_key_columns(input.key_columns());
     MorselPlan plan = PlanFor(input.NumRows());
-    if (plan.serial()) {
+    obs::Span* morsel_parent = MorselParent(scope.get());
+    if (plan.serial() && morsel_parent == nullptr) {
       std::unordered_set<Tuple, TupleHash, TupleEq> seen;
       seen.reserve(input.NumRows());
       for (Tuple& row : *input.mutable_rows()) {
@@ -502,7 +517,7 @@ class Executor {
       // preserving first-occurrence-wins order exactly.
       std::vector<Tuple>& rows = *input.mutable_rows();
       std::vector<size_t> hashes(rows.size());
-      ParallelFor(plan, [&](size_t, const Morsel& m) {
+      ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
         for (size_t i = m.begin; i < m.end; ++i) {
           hashes[i] = TupleHash()(rows[i]);
         }
@@ -581,6 +596,7 @@ class Executor {
   Catalog* catalog_;
   ExecStats* stats_;
   const ParallelContext* parallel_;  // Null = serial.
+  obs::TraceLevel trace_level_;      // kMorsel = per-morsel slices.
   NativeExecMetrics metrics_;        // All-null when metrics are off.
 };
 

@@ -34,6 +34,13 @@ struct NativeExecOptions {
   const ParallelContext* parallel = nullptr;  // null = serial.
   obs::Span* span = nullptr;                  // null = no tracing.
   const NativeExecMetrics* metrics = nullptr; // null = no metrics.
+  /// At TraceLevel::kMorsel (and with `span` set) every morselized region
+  /// additionally records one "morsel[i]" child per morsel, adopted in
+  /// morsel order (see obs::TraceLevel). At threads=1 the region routes
+  /// through the same buffered path with its single covering morsel, so
+  /// the untimed trace stays byte-identical run to run and the output rows
+  /// remain bit-identical to the serial path.
+  obs::TraceLevel trace_level = obs::TraceLevel::kOperator;
 };
 
 /// Executes a *conventional* plan (no kPrefer nodes) against the catalog,

@@ -79,14 +79,28 @@ QueryResult Session::ApplyCachePragma(const CachePragma& pragma) {
   return result;
 }
 
+QueryResult Session::ApplySlowlogPragma(const SlowlogPragma& pragma) {
+  engine_.query_log().set_slow_threshold_ms(pragma.threshold_ms);
+  QueryResult result;
+  result.executed_plan =
+      pragma.threshold_ms < 0.0
+          ? "SET SLOWLOG OFF"
+          : StrFormat("SET SLOWLOG %.0f", pragma.threshold_ms);
+  return result;
+}
+
 StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
                                    const QueryOptions& options) {
   last_failure_.reset();
   if (parsed.cache_pragma.kind != CachePragmaKind::kNone) {
     return ApplyCachePragma(parsed.cache_pragma);
   }
+  if (parsed.slowlog_pragma.present) {
+    return ApplySlowlogPragma(parsed.slowlog_pragma);
+  }
   Stopwatch watch;
   engine_.set_parallel_context(options.parallel);
+  engine_.set_trace_level(options.trace_level);
 
   // Per-query cache override: flip the engine-wide switch for the duration
   // of this query only. Sessions are not re-entrant (one query at a time),
@@ -96,9 +110,16 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
     engine_.cache()->set_enabled(*options.cache);
   }
 
-  bool tracing = options.trace || parsed.explain_analyze;
+  // An armed slowlog forces tracing: whether a query turns out slow is only
+  // known after it ran, so the trace must already exist by then.
+  obs::QueryLog& query_log = engine_.query_log();
+  bool tracing = options.trace || parsed.explain_analyze ||
+                 query_log.slowlog_enabled();
   obs::SpanPtr root = tracing ? obs::Span::Detached("Query") : nullptr;
   std::unique_ptr<Strategy> strategy = MakeStrategy(options.strategy);
+  // Cache counters are sampled around the execution so the query record
+  // carries this query's hit/miss delta (sessions run one query at a time).
+  const cache::QueryCache::Stats cache_before = engine_.cache()->snapshot();
 
   // The query executes into a local ExecStats (merged into the engine's
   // cumulative counters below), replacing the old before/after subtraction
@@ -126,6 +147,19 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
   metrics.counter("exec.score_entries_written")
       ->Increment(stats.score_entries_written);
 
+  // Structured query log: every query — pragmas aside — leaves one record,
+  // success or failure, so /queries shows what the session actually ran.
+  const cache::QueryCache::Stats cache_after = engine_.cache()->snapshot();
+  obs::QueryRecord record;
+  record.sql_hash = parsed.text_hash;
+  record.strategy = std::string(strategy->name());
+  record.millis = millis;
+  record.cache_hits = cache_after.hits - cache_before.hits;
+  record.cache_misses = cache_after.misses - cache_before.misses;
+  record.threads = options.parallel.ResolvedThreads();
+  const bool slow = query_log.slowlog_enabled() &&
+                    millis >= query_log.slow_threshold_ms();
+
   if (!outcome.ok()) {
     // A failed query used to discard its Stopwatch and partial counters;
     // keep them on the session so callers can attribute the wasted work.
@@ -136,6 +170,10 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
     report.millis = millis;
     report.stats = stats;
     last_failure_ = std::move(report);
+    record.failed = true;
+    record.failure_message = outcome.status().message();
+    if (slow && root != nullptr) record.slow_trace = root->ToString();
+    query_log.Add(std::move(record));
     return outcome.status();
   }
 
@@ -146,10 +184,15 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
     root->micros = millis * 1000.0;
     root->rows_out = result.relation.NumRows();
     if (parsed.explain_analyze) {
-      result.explain_analyze = root->ToString();
+      result.explain_analyze = parsed.explain_format == ExplainFormat::kChrome
+                                   ? root->ToChromeTrace(false)
+                                   : root->ToString();
     }
+    if (slow) record.slow_trace = root->ToString();
     result.trace = std::move(root);
   }
+  record.rows_out = result.relation.NumRows();
+  query_log.Add(std::move(record));
   return result;
 }
 

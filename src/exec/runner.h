@@ -30,9 +30,15 @@ struct QueryOptions {
   ParallelContext parallel;
   /// Collect a hierarchical span trace of the execution (QueryResult::trace).
   /// Off by default: the strategies then see a null span and pay one pointer
-  /// test per annotation site. An `EXPLAIN ANALYZE` query prefix forces
-  /// tracing on regardless of this flag.
+  /// test per annotation site. An `EXPLAIN ANALYZE` query prefix — or an
+  /// armed `SET SLOWLOG` threshold — forces tracing on regardless of this
+  /// flag.
   bool trace = false;
+  /// Trace granularity when tracing is on: kOperator (default) records one
+  /// span per operator; kMorsel additionally records per-morsel slices
+  /// inside every parallel region (obs::TraceLevel) — what the Chrome/
+  /// Perfetto export visualizes.
+  obs::TraceLevel trace_level = obs::TraceLevel::kOperator;
   /// Per-query override of the engine's result cache: when set, the cache
   /// is enabled/disabled for this query only (the engine-wide setting —
   /// toggled by the `SET CACHE ON|OFF` pragma — is restored afterwards).
@@ -54,8 +60,10 @@ struct QueryResult {
   /// (QueryOptions::trace or EXPLAIN ANALYZE), else null. Shared so results
   /// stay copyable; the tree is immutable once the query returns.
   std::shared_ptr<const obs::Span> trace;
-  /// Rendered span tree (with timings) for an EXPLAIN ANALYZE query; empty
-  /// otherwise.
+  /// Rendered trace for an EXPLAIN ANALYZE query; empty otherwise. The
+  /// default FORMAT TEXT is the indented span tree with timings; FORMAT
+  /// CHROME is the deterministic (untimed) Chrome trace-event document —
+  /// the timed tree stays available on `trace`.
   std::string explain_analyze;
 };
 
@@ -114,6 +122,8 @@ class Session {
   /// Applies a `SET CACHE` pragma to the engine's cache and returns the
   /// synthetic (empty-relation) result describing what was done.
   QueryResult ApplyCachePragma(const CachePragma& pragma);
+  /// Applies a `SET SLOWLOG` pragma to the engine's query log.
+  QueryResult ApplySlowlogPragma(const SlowlogPragma& pragma);
 
   Engine engine_;
   std::optional<FailureReport> last_failure_;

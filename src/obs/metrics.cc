@@ -78,8 +78,9 @@ std::string Histogram::ToString() const {
   std::string out = StrFormat("count=%llu sum=%.3f",
                               static_cast<unsigned long long>(total), sum());
   if (total > 0) {
-    out += StrFormat(" p50<=%.0f p95<=%.0f", QuantileUpperBound(0.5),
-                     QuantileUpperBound(0.95));
+    out += StrFormat(" p50<=%.0f p95<=%.0f p99<=%.0f",
+                     QuantileUpperBound(0.5), QuantileUpperBound(0.95),
+                     QuantileUpperBound(0.99));
   }
   return out;
 }
@@ -104,20 +105,44 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
   return slot.get();
 }
 
-void MetricsRegistry::SetGauge(std::string_view name, double value) {
+Gauge* MetricsRegistry::gauge(std::string_view name) {
   MutexLock lock(&mu_);
-  gauges_[std::string(name)] = value;
+  std::unique_ptr<Gauge>& slot = gauges_[std::string(name)];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  gauge(name)->Set(value);
+}
+
+void MetricsRegistry::AddRefreshHook(std::function<void()> hook) {
+  MutexLock lock(&hooks_mu_);
+  hooks_.push_back(std::move(hook));
+}
+
+void MetricsRegistry::RunRefreshHooks() const {
+  // Copy under the hooks lock, run outside it: a hook calls SetGauge()
+  // (which takes mu_), and holding hooks_mu_ across user code would invite
+  // lock-order surprises for no benefit.
+  std::vector<std::function<void()>> hooks;
+  {
+    MutexLock lock(&hooks_mu_);
+    hooks = hooks_;
+  }
+  for (const std::function<void()>& hook : hooks) hook();
 }
 
 std::string MetricsRegistry::ToString() const {
+  RunRefreshHooks();
   MutexLock lock(&mu_);
   std::string out;
   for (const auto& [name, counter] : counters_) {
     out += StrFormat("%s = %llu\n", name.c_str(),
                      static_cast<unsigned long long>(counter->value()));
   }
-  for (const auto& [name, value] : gauges_) {
-    out += StrFormat("%s = %.3f\n", name.c_str(), value);
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%s = %.3f\n", name.c_str(), gauge->value());
   }
   for (const auto& [name, histogram] : histograms_) {
     out += StrFormat("%s: %s\n", name.c_str(), histogram->ToString().c_str());
@@ -126,18 +151,21 @@ std::string MetricsRegistry::ToString() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  RunRefreshHooks();
   MutexLock lock(&mu_);
   std::string out = "{\"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    out += StrFormat("%s\"%s\": %llu", first ? "" : ", ", name.c_str(),
+    out += StrFormat("%s\"%s\": %llu", first ? "" : ", ",
+                     JsonEscape(name).c_str(),
                      static_cast<unsigned long long>(counter->value()));
     first = false;
   }
   out += "}, \"gauges\": {";
   first = true;
-  for (const auto& [name, value] : gauges_) {
-    out += StrFormat("%s\"%s\": %.3f", first ? "" : ", ", name.c_str(), value);
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%s\"%s\": %.3f", first ? "" : ", ",
+                     JsonEscape(name).c_str(), gauge->value());
     first = false;
   }
   out += "}, \"histograms\": {";
@@ -145,14 +173,69 @@ std::string MetricsRegistry::ToJson() const {
   for (const auto& [name, histogram] : histograms_) {
     out += StrFormat(
         "%s\"%s\": {\"count\": %llu, \"sum\": %.3f, \"p50\": %.0f, "
-        "\"p95\": %.0f}",
-        first ? "" : ", ", name.c_str(),
+        "\"p95\": %.0f, \"p99\": %.0f}",
+        first ? "" : ", ", JsonEscape(name).c_str(),
         static_cast<unsigned long long>(histogram->total_count()),
         histogram->sum(), histogram->QuantileUpperBound(0.5),
-        histogram->QuantileUpperBound(0.95));
+        histogram->QuantileUpperBound(0.95), histogram->QuantileUpperBound(0.99));
     first = false;
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Maps a dotted prefdb metric name onto the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`: every illegal character becomes '_', and a
+/// leading digit gets a '_' prefix. Deterministic, so two scrapes of the
+/// same registry agree on every family name.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  RunRefreshHooks();
+  MutexLock lock(&mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s counter\n%s %llu\n", prom.c_str(),
+                     prom.c_str(),
+                     static_cast<unsigned long long>(counter->value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s gauge\n%s %.6g\n", prom.c_str(), prom.c_str(),
+                     gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string prom = PrometheusName(name);
+    out += StrFormat("# TYPE %s histogram\n", prom.c_str());
+    uint64_t cumulative = 0;
+    const std::vector<double>& bounds = histogram->upper_bounds();
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += histogram->bucket(i);
+      out += StrFormat("%s_bucket{le=\"%g\"} %llu\n", prom.c_str(), bounds[i],
+                       static_cast<unsigned long long>(cumulative));
+    }
+    cumulative += histogram->bucket(bounds.size());  // Overflow bucket.
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(cumulative));
+    out += StrFormat("%s_sum %.6f\n", prom.c_str(), histogram->sum());
+    out += StrFormat("%s_count %llu\n", prom.c_str(),
+                     static_cast<unsigned long long>(histogram->total_count()));
+  }
   return out;
 }
 

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -27,6 +29,30 @@ class Counter {
 
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time instantaneous value (queue depth, resident bytes):
+/// unlike a Counter it can move in both directions. Reads and writes are
+/// relaxed atomics over the double's bit pattern — a gauge is telemetry,
+/// not synchronization. Handles from MetricsRegistry::gauge() are stable,
+/// so refresh paths resolve a name once and then Set() lock-free.
+class Gauge {
+ public:
+  void Set(double value) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    bits_.store(bits, std::memory_order_relaxed);
+  }
+  double value() const {
+    uint64_t bits = bits_.load(std::memory_order_relaxed);
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+  }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // Bit pattern of 0.0.
 };
 
 /// A fixed-bucket histogram for latency-like values (microseconds by
@@ -94,29 +120,59 @@ class MetricsRegistry {
   Histogram* histogram(std::string_view name,
                        std::vector<double> upper_bounds = {});
 
-  /// Sets a point-in-time gauge (e.g. a snapshot of another subsystem's
-  /// internal counter).
+  /// Returns the gauge registered under `name`, creating it on first use.
+  Gauge* gauge(std::string_view name);
+
+  /// Sets the gauge registered under `name` (e.g. a snapshot of another
+  /// subsystem's internal counter). Convenience over gauge(name)->Set().
   void SetGauge(std::string_view name, double value);
+
+  /// Registers a hook run at the start of every export (ToString/ToJson/
+  /// ToPrometheus), before the snapshot is taken — the mechanism behind
+  /// "live" gauges: a subsystem registers a hook that publishes its current
+  /// occupancy/depth/bytes, so scrapes always see fresh values without the
+  /// hot paths paying for continuous updates. Hooks run outside the
+  /// registry lock and may therefore call SetGauge()/counter() freely; they
+  /// must not call an export function (ToString/ToJson/ToPrometheus) or
+  /// they would recurse. Whatever a hook captures must outlive the
+  /// registry's last export.
+  void AddRefreshHook(std::function<void()> hook);
 
   /// All metrics, one per line, sorted by name — the deterministic export.
   std::string ToString() const;
 
   /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}
-  /// with keys in sorted order.
+  /// with keys in sorted order. Keys are JSON-escaped.
   std::string ToJson() const;
+
+  /// Prometheus text exposition (version 0.0.4): one `# TYPE` line and one
+  /// sample per counter/gauge, cumulative `_bucket{le="..."}` series plus
+  /// `_sum`/`_count` per histogram. Metric names are sanitized to the
+  /// Prometheus grammar ('.' and any other illegal character map to '_'),
+  /// and families render in sorted name order — deterministic for
+  /// deterministic values, like the other exports. Served at /metrics by
+  /// obs::TelemetryServer.
+  std::string ToPrometheus() const;
 
   /// The process-wide registry.
   static MetricsRegistry& Global();
 
  private:
+  /// Runs every registered refresh hook (outside mu_).
+  void RunRefreshHooks() const;
+
   mutable Mutex mu_;
-  // The maps are guarded; the Counter/Histogram objects they point to are
-  // internally atomic and accessed lock-free through stable pointers.
+  // The maps are guarded; the Counter/Gauge/Histogram objects they point to
+  // are internally atomic and accessed lock-free through stable pointers.
   std::map<std::string, std::unique_ptr<Counter>> counters_
       PREFDB_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Histogram>> histograms_
       PREFDB_GUARDED_BY(mu_);
-  std::map<std::string, double> gauges_ PREFDB_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ PREFDB_GUARDED_BY(mu_);
+  // Hooks get their own lock so a running hook can call SetGauge() (which
+  // takes mu_) without self-deadlock.
+  mutable Mutex hooks_mu_;
+  std::vector<std::function<void()>> hooks_ PREFDB_GUARDED_BY(hooks_mu_);
 };
 
 }  // namespace obs

@@ -1,0 +1,94 @@
+#include "obs/query_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+namespace obs {
+
+QueryLog::QueryLog(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+void QueryLog::Add(QueryRecord record) {
+  MutexLock lock(&mu_);
+  record.sequence = added_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[next_] = std::move(record);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<QueryRecord> QueryLog::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<QueryRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    // Not yet wrapped: the ring is already oldest-first.
+    out = ring_;
+  } else {
+    // Wrapped: `next_` is the oldest slot.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+size_t QueryLog::size() const {
+  MutexLock lock(&mu_);
+  return ring_.size();
+}
+
+uint64_t QueryLog::total_added() const {
+  MutexLock lock(&mu_);
+  return added_;
+}
+
+uint64_t QueryLog::dropped() const {
+  MutexLock lock(&mu_);
+  return added_ - ring_.size();
+}
+
+std::string QueryLog::ToJson() const {
+  std::vector<QueryRecord> records = Snapshot();
+  uint64_t added;
+  {
+    MutexLock lock(&mu_);
+    added = added_;
+  }
+  std::string out =
+      StrFormat("{\"capacity\": %zu, \"size\": %zu, \"dropped\": %llu, "
+                "\"records\": [",
+                capacity_, records.size(),
+                static_cast<unsigned long long>(added - records.size()));
+  for (size_t i = 0; i < records.size(); ++i) {
+    const QueryRecord& r = records[i];
+    if (i > 0) out += ", ";
+    out += StrFormat(
+        "{\"sequence\": %llu, \"sql_hash\": \"%016llx\", "
+        "\"strategy\": \"%s\", \"millis\": %.3f, \"rows_out\": %zu, "
+        "\"cache_hits\": %llu, \"cache_misses\": %llu, \"threads\": %zu, "
+        "\"failed\": %s",
+        static_cast<unsigned long long>(r.sequence),
+        static_cast<unsigned long long>(r.sql_hash),
+        JsonEscape(r.strategy).c_str(), r.millis, r.rows_out,
+        static_cast<unsigned long long>(r.cache_hits),
+        static_cast<unsigned long long>(r.cache_misses), r.threads,
+        r.failed ? "true" : "false");
+    if (!r.failure_message.empty()) {
+      out += ", \"failure\": \"" + JsonEscape(r.failure_message) + "\"";
+    }
+    if (!r.slow_trace.empty()) {
+      out += ", \"slow_trace\": \"" + JsonEscape(r.slow_trace) + "\"";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace prefdb

@@ -1,0 +1,242 @@
+#include "obs/telemetry_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+namespace obs {
+
+namespace {
+
+/// Minimal request-line parse: "GET /path HTTP/1.1" -> "/path" (query
+/// strings are stripped). Empty on anything that is not a GET.
+std::string ParseGetPath(const std::string& request) {
+  if (request.compare(0, 4, "GET ") != 0) return "";
+  size_t start = 4;
+  size_t end = request.find(' ', start);
+  if (end == std::string::npos) return "";
+  std::string path = request.substr(start, end - start);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    default:
+      return "Error";
+  }
+}
+
+void SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                       MSG_NOSIGNAL
+#else
+                       0
+#endif
+    );
+    if (n <= 0) return;  // Peer went away; nothing to salvage.
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+TelemetryServer::Response TelemetryServer::Handle(
+    const std::string& path) const {
+  Response response;
+  if (path == "/healthz") {
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "ok\n";
+  } else if (path == "/metrics") {
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = options_.metrics->ToPrometheus();
+  } else if (path == "/metrics.json") {
+    response.content_type = "application/json";
+    response.body = options_.metrics->ToJson();
+  } else if (path == "/queries" && options_.query_log != nullptr) {
+    response.content_type = "application/json";
+    response.body = options_.query_log->ToJson();
+  } else {
+    response.status = 404;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "not found\n";
+  }
+  return response;
+}
+
+Status TelemetryServer::Start() {
+  if (options_.metrics == nullptr) {
+    return Status::InvalidArgument("TelemetryServer requires a metrics source");
+  }
+  if (running()) return Status::AlreadyExists("telemetry server already running");
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrFormat("socket(): %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // Operator-facing only.
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status =
+        Status::Internal(StrFormat("bind(port=%d): %s", options_.port,
+                                   std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, static_cast<int>(kMaxQueuedConns)) != 0) {
+    Status status =
+        Status::Internal(StrFormat("listen(): %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  // Resolve the bound port (the kernel picked one when options_.port == 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status status =
+        Status::Internal(StrFormat("getsockname(): %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = fd;
+
+  {
+    MutexLock lock(&mu_);
+    stopping_ = false;
+  }
+  size_t workers = options_.worker_threads == 0 ? 1 : options_.worker_threads;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void TelemetryServer::Stop() {
+  if (!running()) return;
+  // Shut the listener down first: the blocking accept() fails and the
+  // acceptor exits; then wake the workers so they observe stopping_.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  cv_.NotifyAll();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Connections accepted but never served get closed without a response.
+  MutexLock lock(&mu_);
+  while (!pending_.empty()) {
+    ::close(pending_.front());
+    pending_.pop_front();
+  }
+}
+
+void TelemetryServer::AcceptLoop() {
+  for (;;) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) return;  // Listener shut down (or fatal) — exit.
+    bool enqueued = false;
+    {
+      MutexLock lock(&mu_);
+      if (!stopping_ && pending_.size() < kMaxQueuedConns) {
+        pending_.push_back(client);
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      cv_.NotifyOne();
+    } else {
+      ::close(client);  // Shed load rather than queue unboundedly.
+    }
+  }
+}
+
+void TelemetryServer::WorkerLoop() {
+  for (;;) {
+    int client = -1;
+    {
+      MutexLock lock(&mu_);
+      while (pending_.empty() && !stopping_) cv_.Wait(&mu_);
+      if (pending_.empty()) return;  // stopping_ and drained.
+      client = pending_.front();
+      pending_.pop_front();
+    }
+    ServeConnection(client);
+  }
+}
+
+void TelemetryServer::ServeConnection(int fd) {
+  // A slow or stalled client must not pin a worker forever.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request headers (we only need the request
+  // line; telemetry GETs carry no body).
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  std::string path = ParseGetPath(request);
+  Response response;
+  if (path.empty()) {
+    response.status = 405;
+    response.content_type = "text/plain; charset=utf-8";
+    response.body = "only GET is supported\n";
+  } else {
+    response = Handle(path);
+  }
+
+  std::string reply = StrFormat(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      response.status, StatusText(response.status),
+      response.content_type.c_str(), response.body.size());
+  reply += response.body;
+  SendAll(fd, reply);
+  ::close(fd);
+}
+
+}  // namespace obs
+}  // namespace prefdb

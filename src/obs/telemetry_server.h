@@ -1,0 +1,104 @@
+#ifndef PREFDB_OBS_TELEMETRY_SERVER_H_
+#define PREFDB_OBS_TELEMETRY_SERVER_H_
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+
+namespace prefdb {
+namespace obs {
+
+/// A dependency-free embedded HTTP/1.1 server over POSIX sockets — the
+/// live telemetry endpoint. One acceptor thread plus a small fixed pool of
+/// worker threads serve read-only GETs:
+///
+///   /metrics       Prometheus text exposition (MetricsRegistry::ToPrometheus)
+///   /metrics.json  MetricsRegistry::ToJson
+///   /queries       structured query log (QueryLog::ToJson; 404 without one)
+///   /healthz       liveness probe ("ok")
+///
+/// The server holds only const pointers into its owner's telemetry objects
+/// — it never mutates engine state, so scrapes are safe concurrent with
+/// query execution (both registries and the query log are internally
+/// synchronized). Binds to 127.0.0.1 only: telemetry is operator-facing,
+/// not a public surface. Start() with port 0 binds an ephemeral port,
+/// reported by port() — what the tests and the smoke stage use.
+class TelemetryServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port.
+    int port = 0;
+    /// Worker threads handling accepted connections (bounded concurrency).
+    size_t worker_threads = 2;
+    /// Metrics source for /metrics and /metrics.json. Required.
+    const MetricsRegistry* metrics = nullptr;
+    /// Query-log source for /queries; null makes /queries a 404.
+    const QueryLog* query_log = nullptr;
+  };
+
+  explicit TelemetryServer(Options options) : options_(options) {}
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// Stops the server if still running.
+  ~TelemetryServer() { Stop(); }
+
+  /// Binds, listens and spawns the acceptor + workers. Fails if `metrics`
+  /// is null, the port is taken, or the server is already running.
+  Status Start();
+
+  /// Shuts the listener down and joins every thread. Idempotent. Queued
+  /// but unserved connections are closed without a response.
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+
+  /// The bound port (the resolved ephemeral port after Start with port 0);
+  /// -1 before Start.
+  int port() const { return port_; }
+
+  /// Renders the response body + content type for `path`, without a
+  /// socket. The HTTP layer is a thin shell over this; tests use it to
+  /// check routing against the exact socket-served payloads.
+  struct Response {
+    int status = 200;
+    std::string content_type;
+    std::string body;
+  };
+  Response Handle(const std::string& path) const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  // Accepted connections awaiting a worker. Bounded: past kMaxQueuedConns
+  // the acceptor sheds load by closing new connections immediately instead
+  // of queueing unboundedly.
+  static constexpr size_t kMaxQueuedConns = 64;
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<int> pending_ PREFDB_GUARDED_BY(mu_);
+  bool stopping_ PREFDB_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace obs
+}  // namespace prefdb
+
+#endif  // PREFDB_OBS_TELEMETRY_SERVER_H_

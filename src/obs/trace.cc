@@ -80,6 +80,66 @@ std::string Span::ToJson(bool include_timing) const {
 
 namespace {
 
+/// Duration of `span` for the Chrome export: measured micros when timing
+/// is included, otherwise the structural duration (leaf = 1us, parent =
+/// sum of children) that keeps the untimed export deterministic.
+double ChromeDuration(const Span& span, bool include_timing) {
+  if (include_timing) return span.micros;
+  if (span.children.empty()) return 1.0;
+  double total = 0.0;
+  for (const SpanPtr& child : span.children) {
+    total += ChromeDuration(*child, include_timing);
+  }
+  return total;
+}
+
+/// Scheduling annotations ("morsels=6 slots=6") describe how a run was
+/// scheduled, not what it computed: they vary with the ParallelContext's
+/// thread count. The untimed Chrome export is the determinism contract
+/// (byte-identical across thread counts at TraceLevel::kOperator), so it
+/// drops them; data-dependent details ("table=MOVIES", "hash") stay.
+bool IsSchedulingDetail(const std::string& detail) {
+  return detail.compare(0, 8, "morsels=") == 0;
+}
+
+void AppendChromeEvents(const Span& span, bool include_timing, double ts,
+                        bool* first, std::string* out) {
+  double dur = ChromeDuration(span, include_timing);
+  if (!*first) *out += ",\n";
+  *first = false;
+  *out += StrFormat(
+      "{\"name\": \"%s\", \"cat\": \"prefdb\", \"ph\": \"X\", "
+      "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": 1",
+      JsonEscape(span.name).c_str(), ts, dur);
+  std::string args;
+  if (!span.detail.empty() &&
+      (include_timing || !IsSchedulingDetail(span.detail))) {
+    args += "\"detail\": \"" + JsonEscape(span.detail) + "\"";
+  }
+  if (span.rows_in != Span::kUnset) {
+    if (!args.empty()) args += ", ";
+    args += StrFormat("\"rows_in\": %zu", span.rows_in);
+  }
+  if (span.rows_out != Span::kUnset) {
+    if (!args.empty()) args += ", ";
+    args += StrFormat("\"rows_out\": %zu", span.rows_out);
+  }
+  if (span.score_entries != Span::kUnset) {
+    if (!args.empty()) args += ", ";
+    args += StrFormat("\"score_entries\": %zu", span.score_entries);
+  }
+  if (!args.empty()) *out += ", \"args\": {" + args + "}";
+  *out += "}";
+  // Children start at the parent's start and run back to back: concurrent
+  // tasks render as a sequential schedule, which keeps the layout a pure
+  // function of the tree (no per-task start timestamps are recorded).
+  double child_ts = ts;
+  for (const SpanPtr& child : span.children) {
+    AppendChromeEvents(*child, include_timing, child_ts, first, out);
+    child_ts += ChromeDuration(*child, include_timing);
+  }
+}
+
 void CollectSpans(const Span& span, std::string_view prefix,
                   std::vector<const Span*>* out) {
   if (std::string_view(span.name).substr(0, prefix.size()) == prefix) {
@@ -91,6 +151,14 @@ void CollectSpans(const Span& span, std::string_view prefix,
 }
 
 }  // namespace
+
+std::string Span::ToChromeTrace(bool include_timing) const {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  AppendChromeEvents(*this, include_timing, 0.0, &first, &out);
+  out += "\n]}\n";
+  return out;
+}
 
 std::vector<const Span*> FindSpans(const Span& root, std::string_view prefix) {
   std::vector<const Span*> out;

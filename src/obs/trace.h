@@ -15,6 +15,22 @@ namespace obs {
 struct Span;
 using SpanPtr = std::unique_ptr<Span>;
 
+/// How much of the execution a trace records.
+///
+///   kOperator — one span per operator / strategy phase / delegated query
+///     (the PR 4 default). Span trees are identical at every thread count.
+///   kMorsel — additionally one span per morsel inside every parallel
+///     region ("morsel[i]" with the row range and per-morsel wall time),
+///     adopted in morsel-index order at the join point. The *set* of morsel
+///     spans is a pure function of (row count, ParallelContext), so the
+///     untimed rendering stays deterministic for a fixed context; at
+///     threads=1 the region records its single covering morsel and remains
+///     byte-identical run to run.
+enum class TraceLevel {
+  kOperator,
+  kMorsel,
+};
+
 /// One node of a query trace: a named region of execution (a plan operator,
 /// a strategy phase, a delegated engine query) with wall time, cardinality
 /// and score-relation telemetry, plus child spans.
@@ -65,6 +81,22 @@ struct Span {
   /// export the benches embed into BENCH_*.json for per-phase breakdowns.
   /// Timing fields are omitted when `include_timing` is false.
   std::string ToJson(bool include_timing = true) const;
+
+  /// Chrome trace-event ("Trace Event Format") document — load it at
+  /// ui.perfetto.dev or chrome://tracing:
+  ///   {"displayTimeUnit": "ms", "traceEvents": [{"ph": "X", ...}, ...]}
+  /// One complete ("X") event per span, emitted pre-order on a single
+  /// track (pid=1/tid=1); children are laid out sequentially from their
+  /// parent's start timestamp, and detail/cardinality annotations ride in
+  /// "args". With `include_timing=true` durations are the measured span
+  /// micros (what you profile with). With `include_timing=false` durations
+  /// are *structural*: every leaf is 1us and every parent the sum of its
+  /// children, and scheduling annotations ("morsels=N slots=S", which vary
+  /// with the ParallelContext's thread count) are dropped from "args" —
+  /// the rendering is then a pure function of the operator tree, so at
+  /// TraceLevel::kOperator it is byte-identical across runs *and* thread
+  /// counts, while still loading in Perfetto.
+  std::string ToChromeTrace(bool include_timing = true) const;
 };
 
 /// RAII scope that times a child span of `parent`. When `parent` is null

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "parallel/thread_pool.h"
 
 namespace prefdb {
@@ -63,6 +65,33 @@ void ParallelFor(const MorselPlan& plan,
   }
   group.Wait();  // Rethrows the first pool-task exception.
   if (caller_error) std::rethrow_exception(caller_error);
+}
+
+void ParallelForTraced(
+    const MorselPlan& plan, obs::Span* parent,
+    const std::function<void(size_t slot, const Morsel&)>& fn) {
+  if (parent == nullptr) {
+    ParallelFor(plan, fn);
+    return;
+  }
+  // Each morsel index is claimed by exactly one slot, so writing
+  // morsel_spans[morsel.index] from the executing slot is race-free: the
+  // slots touch disjoint elements of a pre-sized vector.
+  std::vector<obs::SpanPtr> morsel_spans(plan.morsel_count());
+  ParallelFor(plan, [&fn, &morsel_spans](size_t slot, const Morsel& morsel) {
+    obs::SpanPtr span =
+        obs::Span::Detached(StrFormat("morsel[%zu]", morsel.index));
+    span->rows_in = morsel.size();
+    span->detail = StrFormat("range=[%zu, %zu)", morsel.begin, morsel.end);
+    Stopwatch watch;
+    fn(slot, morsel);
+    span->micros = watch.ElapsedMicros();
+    morsel_spans[morsel.index] = std::move(span);
+  });
+  // Adopt in morsel-index order — the deterministic join-point merge. On an
+  // exception ParallelFor rethrows above and the partial spans are dropped
+  // with the vector (the failed query reports no trace).
+  for (obs::SpanPtr& span : morsel_spans) parent->Adopt(std::move(span));
 }
 
 void ParallelInvoke(const ParallelContext& ctx,

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "parallel/parallel_context.h"
 
 namespace prefdb {
@@ -70,6 +71,19 @@ class MorselPlan {
 /// rethrown here after all slots finish.
 void ParallelFor(const MorselPlan& plan,
                  const std::function<void(size_t slot, const Morsel&)>& fn);
+
+/// ParallelFor plus per-morsel trace spans (TraceLevel::kMorsel): every
+/// morsel records a "morsel[i]" child under `parent` carrying its row range
+/// (detail "range=[begin, end)"), its size (rows_in) and its wall time.
+/// Each slot times its own morsels into a detached span indexed by morsel
+/// number; after the join the spans are adopted into `parent` in morsel
+/// order, so the assembled tree is a pure function of (row count,
+/// ParallelContext) — scheduling never reorders it, and at threads=1 the
+/// single covering morsel makes the untimed rendering byte-identical run
+/// to run. A null `parent` degrades to plain ParallelFor.
+void ParallelForTraced(
+    const MorselPlan& plan, obs::Span* parent,
+    const std::function<void(size_t slot, const Morsel&)>& fn);
 
 /// Runs every function in `fns` exactly once, with up to
 /// `ctx.ResolvedThreads()` concurrent workers. The coarse-grained sibling

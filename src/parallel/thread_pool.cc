@@ -49,6 +49,13 @@ size_t ThreadPool::steal_count() const {
   return steal_count_;
 }
 
+size_t ThreadPool::queue_depth() const {
+  MutexLock lock(&mu_);
+  size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue.size();
+  return depth;
+}
+
 ThreadPoolTelemetry ThreadPool::telemetry() const {
   MutexLock lock(&mu_);
   ThreadPoolTelemetry t;

@@ -66,6 +66,10 @@ class ThreadPool {
   /// aggregate queue-wait time).
   ThreadPoolTelemetry telemetry() const;
 
+  /// Total tasks currently queued across all worker deques (instantaneous;
+  /// the source for the pref.pool.queue_depth telemetry gauge).
+  size_t queue_depth() const;
+
   /// Pops one queued task (any queue) and runs it on the calling thread.
   /// Returns false without blocking when every queue is empty. This is the
   /// "helping" half of TaskGroup::Wait: a thread blocked on a join drains

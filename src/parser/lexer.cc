@@ -24,6 +24,7 @@ constexpr std::string_view kKeywords[] = {
     "USING",  "AGG",    "TOP",       "BY",    "WITH",     "RANKED",  "DOMINATED",
     "ORDER",  "LIMIT",  "ASC",       "DESC",  "TRUE",     "FALSE",   "NULL",
     "DISTINCT", "EXPLAIN", "ANALYZE", "SET", "CACHE", "OFF", "CLEAR",
+    "SLOWLOG", "FORMAT", "CHROME", "TEXT",
 };
 
 bool IsKeyword(const std::string& upper) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/string_util.h"
 #include "expr/expr_builder.h"
 #include "parser/lexer.h"
@@ -17,10 +18,28 @@ class Parser {
 
   StatusOr<ParsedQuery> ParseQuery() {
     ParsedQuery query;
-    // SET CACHE ON | OFF | CLEAR | LIMIT <bytes>: result-cache pragma.
-    // Carries no plan; the runner applies it to the session's engine.
+    // SET CACHE ... / SET SLOWLOG ...: pragma statements. They carry no
+    // plan; the runner applies them to the session's engine.
     if (PeekKeyword("SET")) {
       Advance();
+      // SET SLOWLOG <ms> | OFF: query-log slow-trace threshold.
+      if (PeekKeyword("SLOWLOG")) {
+        Advance();
+        query.slowlog_pragma.present = true;
+        if (PeekKeyword("OFF")) {
+          Advance();
+          query.slowlog_pragma.threshold_ms = -1.0;
+        } else {
+          ASSIGN_OR_RETURN(int64_t ms,
+                           ExpectInteger("slowlog threshold (milliseconds)"));
+          if (ms < 0) return Error("slowlog threshold must be >= 0");
+          query.slowlog_pragma.threshold_ms = static_cast<double>(ms);
+        }
+        if (Peek().kind != TokenKind::kEnd) {
+          return Error("unexpected trailing input '" + Peek().text + "'");
+        }
+        return query;
+      }
       RETURN_IF_ERROR(ExpectKeyword("CACHE"));
       if (PeekKeyword("ON")) {
         Advance();
@@ -164,6 +183,23 @@ class Parser {
         Advance();
         ASSIGN_OR_RETURN(int64_t n, ExpectInteger("LIMIT count"));
         plan = plan::Limit(static_cast<size_t>(n), std::move(plan));
+        continue;
+      }
+      // FORMAT CHROME | TEXT: EXPLAIN ANALYZE output rendering.
+      if (PeekKeyword("FORMAT")) {
+        Advance();
+        if (!query.explain_analyze) {
+          return Error("FORMAT is only valid after EXPLAIN ANALYZE");
+        }
+        if (PeekKeyword("CHROME")) {
+          Advance();
+          query.explain_format = ExplainFormat::kChrome;
+        } else if (PeekKeyword("TEXT")) {
+          Advance();
+          query.explain_format = ExplainFormat::kText;
+        } else {
+          return Error("expected CHROME or TEXT after FORMAT");
+        }
         continue;
       }
       return Error("unexpected token '" + Peek().text + "'");
@@ -686,6 +722,7 @@ StatusOr<ParsedQuery> ParseQuery(std::string_view text, const Catalog& catalog) 
   ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
   Parser parser(std::move(tokens), &catalog);
   ASSIGN_OR_RETURN(ParsedQuery query, parser.ParseQuery());
+  query.text_hash = FnvMix(kFnvOffsetBasis, text);
   // Final validation: the extended plan must derive a shape. Pragma
   // statements (SET CACHE ...) carry no plan.
   if (query.plan != nullptr) {

@@ -33,6 +33,25 @@ struct CachePragma {
   size_t limit_bytes = 0;
 };
 
+/// `SET SLOWLOG <ms>` / `SET SLOWLOG OFF` — query-log slow-trace control:
+/// queries whose wall time reaches the threshold get their full rendered
+/// span tree stamped into the session's query log (obs::QueryLog). Like
+/// the cache pragma, the statement carries no plan.
+struct SlowlogPragma {
+  bool present = false;
+  /// Threshold in milliseconds; negative = OFF.
+  double threshold_ms = -1.0;
+};
+
+/// Rendering of `EXPLAIN ANALYZE` output (QueryResult::explain_analyze):
+/// the default indented span-tree text, or — with a trailing
+/// `FORMAT CHROME` clause — a Chrome trace-event JSON document
+/// (Span::ToChromeTrace, loadable at ui.perfetto.dev). The Chrome export
+/// uses the *untimed* structural rendering, so it is byte-identical across
+/// runs for a fixed ParallelContext; the timed tree remains available on
+/// QueryResult::trace.
+enum class ExplainFormat { kText, kChrome };
+
 struct ParsedQuery {
   PlanPtr plan;
   const AggregateFunction* agg = nullptr;
@@ -44,8 +63,15 @@ struct ParsedQuery {
   /// tracing forced on and renders the span tree into
   /// QueryResult::explain_analyze.
   bool explain_analyze = false;
+  /// How EXPLAIN ANALYZE output renders (text unless `FORMAT CHROME`).
+  ExplainFormat explain_format = ExplainFormat::kText;
   /// Non-kNone when the statement is a `SET CACHE` pragma; `plan` is null.
   CachePragma cache_pragma;
+  /// Present when the statement is a `SET SLOWLOG` pragma; `plan` is null.
+  SlowlogPragma slowlog_pragma;
+  /// FNV-1a hash of the original PrefSQL text (what the query log records
+  /// instead of the statement itself); 0 for hand-built ParsedQuery values.
+  uint64_t text_hash = 0;
 };
 
 /// Parses a PrefSQL query. The dialect:

@@ -1,0 +1,5 @@
+// Fixture: a pref.* metric name spelled inline instead of referencing the
+// central registry (src/obs/metric_names.h) — metric-registry must fire.
+void Record(MetricsRegistry* metrics) {
+  metrics->counter("pref.exec.bogus_inline")->Increment();
+}

@@ -62,6 +62,10 @@ TEST(LintFixtures, TodoWithoutOwnerTriggers) {
   ExpectOnlyRule("src/common/todo_without_owner.h", "todo-owner");
 }
 
+TEST(LintFixtures, InlineMetricNameTriggers) {
+  ExpectOnlyRule("src/exec/inline_metric_name.cc", "metric-registry");
+}
+
 TEST(LintFixtures, CleanFileIsClean) {
   std::vector<Violation> violations =
       LintFile(FixturePath("src/common/clean.h"));
@@ -160,6 +164,24 @@ TEST(LintContent, TodoWithOwnerIsClean) {
   std::vector<Violation> v = LintContent("src/x/c.h", bare);
   ASSERT_EQ(v.size(), 1u);
   EXPECT_EQ(v[0].rule, "todo-owner");
+}
+
+TEST(LintContent, MetricRegistryScopedToSrcOutsideRegistryHeader) {
+  const std::string content = "metrics->counter(\"pref.x.y\")->Increment();\n";
+  // The registry header itself and code outside src/ are exempt; anything
+  // else under src/ must reference an obs::kPref* constant.
+  EXPECT_TRUE(LintContent("src/obs/metric_names.h", content).empty());
+  EXPECT_TRUE(LintContent("tests/obs_test.cc", content).empty());
+  std::vector<Violation> v = LintContent("src/exec/runner.cc", content);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].rule, "metric-registry");
+  // Comments and lint:allow escape the rule like everywhere else.
+  EXPECT_TRUE(
+      LintContent("src/exec/runner.cc", "// was \"pref.x.y\" once\n").empty());
+  EXPECT_TRUE(LintContent("src/exec/runner.cc",
+                          "counter(\"pref.x.y\");  "
+                          "// lint:allow(metric-registry) migration\n")
+                  .empty());
 }
 
 TEST(LintContent, CommentedOutCodeDoesNotTriggerCodeRules) {

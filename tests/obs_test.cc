@@ -136,6 +136,78 @@ TEST(MetricsRegistryTest, SnapshotsAreSortedAndDeterministic) {
   EXPECT_NE(json.find("\"zeta\": 2"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, GaugesHoldLatestValue) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* g = registry.gauge("pool.depth");
+  EXPECT_EQ(g, registry.gauge("pool.depth"));  // Stable handle.
+  EXPECT_DOUBLE_EQ(g->value(), 0.0);
+  g->Set(42.5);
+  EXPECT_DOUBLE_EQ(g->value(), 42.5);
+  registry.SetGauge("pool.depth", -1.25);  // Overwrite, not accumulate.
+  EXPECT_DOUBLE_EQ(g->value(), -1.25);
+}
+
+TEST(MetricsRegistryTest, RefreshHooksRunBeforeEveryExport) {
+  obs::MetricsRegistry registry;
+  int calls = 0;
+  registry.AddRefreshHook([&registry, &calls] {
+    registry.SetGauge("live.value", static_cast<double>(++calls));
+  });
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"live.value\": 1"), std::string::npos) << json;
+  std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("live_value 2"), std::string::npos) << prom;
+  (void)registry.ToString();
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesMetricNames) {
+  obs::MetricsRegistry registry;
+  registry.counter("weird\"name\\with\nescapes")->Increment();
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"weird\\\"name\\\\with\\nescapes\": 1"),
+            std::string::npos)
+      << json;
+}
+
+TEST(MetricsRegistryTest, HistogramJsonCarriesP99) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h = registry.histogram("lat", {10.0, 100.0, 1000.0});
+  for (int i = 0; i < 98; ++i) h->Record(5.0);
+  h->Record(50.0);
+  h->Record(50.0);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"p50\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\": 100"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, PrometheusExpositionShape) {
+  obs::MetricsRegistry registry;
+  registry.counter("pref.cache.hits")->Increment(3);
+  registry.SetGauge("pref.pool.queue_depth", 2.0);
+  obs::Histogram* h = registry.histogram("query.micros", {10.0, 100.0});
+  h->Record(5.0);
+  h->Record(50.0);
+  std::string prom = registry.ToPrometheus();
+  // Names are sanitized to the Prometheus charset ('.' -> '_').
+  EXPECT_NE(prom.find("# TYPE pref_cache_hits counter\npref_cache_hits 3\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE pref_pool_queue_depth gauge\n"
+                      "pref_pool_queue_depth 2\n"),
+            std::string::npos)
+      << prom;
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(prom.find("query_micros_bucket{le=\"10\"} 1"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("query_micros_bucket{le=\"100\"} 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("query_micros_bucket{le=\"+Inf\"} 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("query_micros_count 2"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("query_micros_sum 55"), std::string::npos) << prom;
+}
+
 // ---------------------------------------------------------------------------
 // Span trees.
 

@@ -575,6 +575,84 @@ TEST(NativeSubtreeTraceTest, NativeSpansIdenticalAcrossThreadCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Chrome trace export determinism. The untimed export (what EXPLAIN
+// ANALYZE ... FORMAT CHROME renders) uses structural durations, so it is a
+// pure function of the span tree — byte-identical across runs, and at
+// TraceLevel::kOperator across thread counts too (the operator tree is
+// scheduling-independent, like the untimed ToString above).
+
+TEST(ChromeTraceTest, OperatorLevelExportByteIdenticalAcrossThreadCounts) {
+  Session* session = SharedImdbSession();
+  const std::string sql = ImdbWorkload()[0].sql;
+  std::string reference;
+  for (size_t threads : {size_t{1}, size_t{8}}) {
+    for (int run = 0; run < 2; ++run) {
+      QueryOptions options;
+      options.strategy = StrategyKind::kFtP;
+      options.trace = true;
+      options.parallel = ForcedContext(threads);
+      auto result = session->Query(sql, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_NE(result->trace, nullptr);
+      std::string doc = result->trace->ToChromeTrace(/*include_timing=*/false);
+      if (reference.empty()) {
+        reference = doc;
+        EXPECT_NE(doc.find("\"traceEvents\": ["), std::string::npos) << doc;
+        EXPECT_NE(doc.find("\"ph\": \"X\""), std::string::npos) << doc;
+        EXPECT_EQ(doc.find("morsel["), std::string::npos)
+            << "morsel spans at kOperator:\n" << doc;
+      } else {
+        EXPECT_EQ(doc, reference)
+            << "threads=" << threads << " run=" << run
+            << ": untimed Chrome export not byte-identical";
+      }
+    }
+  }
+}
+
+TEST(ChromeTraceTest, MorselLevelFormatChromeDeterministicSerially) {
+  Session* session = SharedImdbSession();
+  // The acceptance contract: EXPLAIN ANALYZE ... FORMAT CHROME at
+  // TraceLevel::kMorsel is byte-identical across repeated threads=1 runs
+  // (one covering morsel in the serial plan, adopted at index 0).
+  const std::string sql = "EXPLAIN ANALYZE " + ImdbWorkload()[0].sql +
+                          " FORMAT CHROME";
+  QueryOptions options;
+  options.strategy = StrategyKind::kFtP;
+  options.trace_level = obs::TraceLevel::kMorsel;
+  options.parallel = ForcedContext(1);
+  std::string reference;
+  for (int run = 0; run < 3; ++run) {
+    auto result = session->Query(sql, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_FALSE(result->explain_analyze.empty());
+    if (run == 0) {
+      reference = result->explain_analyze;
+      EXPECT_NE(reference.find("\"traceEvents\": ["), std::string::npos)
+          << reference;
+      EXPECT_NE(reference.find("morsel[0]"), std::string::npos) << reference;
+      // The timed tree is still available alongside the rendering.
+      ASSERT_NE(result->trace, nullptr);
+      EXPECT_NE(result->trace->ToChromeTrace(/*include_timing=*/true)
+                    .find("\"traceEvents\": ["),
+                std::string::npos);
+    } else {
+      EXPECT_EQ(result->explain_analyze, reference)
+          << "run " << run << ": FORMAT CHROME not byte-identical";
+    }
+  }
+  // At threads=8 the same query still answers identically (rows are merged
+  // in morsel order) and every morsel span carries its range detail.
+  options.parallel = ForcedContext(8);
+  auto parallel_result = session->Query(sql, options);
+  ASSERT_TRUE(parallel_result.ok()) << parallel_result.status().ToString();
+  EXPECT_NE(parallel_result->explain_analyze.find("morsel["),
+            std::string::npos);
+  EXPECT_NE(parallel_result->explain_analyze.find("range=["),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Concurrent GBU executions against one engine. Temp-table names come from
 // a process-wide atomic counter and every counter write is routed through a
 // caller-provided ExecStats, so independent executions — each with its own

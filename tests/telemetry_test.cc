@@ -1,0 +1,382 @@
+// Telemetry endpoint and structured query log: the embedded HTTP server is
+// scraped over a real socket (Prometheus grammar + counter parity with the
+// JSON export), the socketless Handle() routing is pinned, the query-log
+// ring wraps and tolerates concurrent writers (TSan covers this via the
+// `parallel` ctest label), and SET SLOWLOG stamps slow queries with their
+// span tree.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/imdb_gen.h"
+#include "exec/runner.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/telemetry_server.h"
+
+namespace prefdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal HTTP/1.0-style client: one request, read to EOF.
+
+struct HttpReply {
+  int status = 0;
+  std::string body;
+};
+
+HttpReply Fetch(int port, const std::string& request_line) {
+  HttpReply reply;
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return reply;
+  }
+  std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.1 200 OK\r\n...\r\n\r\n<body>"
+  if (response.compare(0, 9, "HTTP/1.1 ") == 0) {
+    reply.status = std::atoi(response.c_str() + 9);
+  }
+  size_t body_at = response.find("\r\n\r\n");
+  if (body_at != std::string::npos) reply.body = response.substr(body_at + 4);
+  return reply;
+}
+
+// Parses Prometheus sample lines "name value" into a map, checking the
+// grammar as it goes: every line is a `# TYPE` comment or a sample whose
+// name starts with [a-zA-Z_:] and continues with [a-zA-Z0-9_:] (optionally
+// followed by a {label} block before the value).
+std::map<std::string, std::string> ParsePrometheus(const std::string& body) {
+  std::map<std::string, std::string> samples;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    if (line.compare(0, 7, "# TYPE ") == 0) continue;
+    EXPECT_FALSE(line[0] == '#') << "unexpected comment: " << line;
+    size_t i = 0;
+    auto name_start = [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+             c == ':';
+    };
+    auto name_char = [&name_start](char c) {
+      return name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+    };
+    EXPECT_TRUE(name_start(line[0])) << "bad metric name: " << line;
+    while (i < line.size() && name_char(line[i])) ++i;
+    std::string name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      size_t close = line.find('}', i);
+      EXPECT_NE(close, std::string::npos) << "unclosed labels: " << line;
+      if (close == std::string::npos) continue;
+      name = line.substr(0, close + 1);
+      i = close + 1;
+    }
+    EXPECT_TRUE(i < line.size() && line[i] == ' ')
+        << "sample without value: " << line;
+    if (i < line.size() && line[i] == ' ') samples[name] = line.substr(i + 1);
+  }
+  return samples;
+}
+
+// ---------------------------------------------------------------------------
+// Socketless routing.
+
+TEST(TelemetryServerTest, HandleRoutes) {
+  obs::MetricsRegistry metrics;
+  metrics.counter("pref.cache.hits")->Increment(7);
+  obs::QueryLog log;
+  obs::TelemetryServer server(
+      {.metrics = &metrics, .query_log = &log});
+
+  auto health = server.Handle("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  auto prom = server.Handle("/metrics");
+  EXPECT_EQ(prom.status, 200);
+  EXPECT_NE(prom.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(prom.body.find("pref_cache_hits 7"), std::string::npos)
+      << prom.body;
+
+  auto json = server.Handle("/metrics.json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_EQ(json.content_type, "application/json");
+  EXPECT_EQ(json.body, metrics.ToJson());
+
+  auto queries = server.Handle("/queries");
+  EXPECT_EQ(queries.status, 200);
+  EXPECT_EQ(queries.body, log.ToJson());
+
+  EXPECT_EQ(server.Handle("/nope").status, 404);
+}
+
+TEST(TelemetryServerTest, QueriesIs404WithoutALog) {
+  obs::MetricsRegistry metrics;
+  obs::TelemetryServer server({.metrics = &metrics});
+  EXPECT_EQ(server.Handle("/queries").status, 404);
+}
+
+TEST(TelemetryServerTest, StartRequiresMetrics) {
+  obs::TelemetryServer server({});
+  EXPECT_FALSE(server.Start().ok());
+  EXPECT_FALSE(server.running());
+}
+
+// ---------------------------------------------------------------------------
+// Real-socket scrapes.
+
+TEST(TelemetryServerTest, ScrapesOverARealSocket) {
+  obs::MetricsRegistry metrics;
+  metrics.counter("pref.cache.hits")->Increment(3);
+  metrics.counter("pref.cache.misses")->Increment(11);
+  metrics.SetGauge("pref.pool.queue_depth", 4.0);
+  metrics.histogram("session.query_micros", {100.0, 1000.0})->Record(42.0);
+  obs::QueryLog log;
+  obs::QueryRecord record;
+  record.strategy = "FtP";
+  record.millis = 1.5;
+  log.Add(std::move(record));
+
+  obs::TelemetryServer server(
+      {.port = 0, .metrics = &metrics, .query_log = &log});
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  HttpReply health = Fetch(server.port(), "GET /healthz HTTP/1.1");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  HttpReply prom = Fetch(server.port(), "GET /metrics HTTP/1.1");
+  ASSERT_EQ(prom.status, 200);
+  std::map<std::string, std::string> samples = ParsePrometheus(prom.body);
+  // Counter parity: the socket-served Prometheus values match the live
+  // registry (and hence ToJson, which reads the same atomics).
+  EXPECT_EQ(samples["pref_cache_hits"], "3");
+  EXPECT_EQ(samples["pref_cache_misses"], "11");
+  EXPECT_EQ(samples["pref_pool_queue_depth"], "4");
+  EXPECT_EQ(samples["session_query_micros_count"], "1");
+  EXPECT_EQ(samples["session_query_micros_bucket{le=\"100\"}"], "1");
+  EXPECT_EQ(samples["session_query_micros_bucket{le=\"+Inf\"}"], "1");
+  std::string json = Fetch(server.port(), "GET /metrics.json HTTP/1.1").body;
+  EXPECT_NE(json.find("\"pref.cache.hits\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pref.cache.misses\": 11"), std::string::npos) << json;
+
+  HttpReply queries = Fetch(server.port(), "GET /queries HTTP/1.1");
+  EXPECT_EQ(queries.status, 200);
+  EXPECT_NE(queries.body.find("\"strategy\": \"FtP\""), std::string::npos)
+      << queries.body;
+
+  EXPECT_EQ(Fetch(server.port(), "GET /nothing HTTP/1.1").status, 404);
+  EXPECT_EQ(Fetch(server.port(), "POST /metrics HTTP/1.1").status, 405);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Stop is idempotent and Start works again after it.
+  server.Stop();
+}
+
+TEST(TelemetryServerTest, ConcurrentScrapesSeeConsistentExpositions) {
+  obs::MetricsRegistry metrics;
+  metrics.AddRefreshHook(
+      [&metrics] { metrics.SetGauge("live.depth", 1.0); });
+  obs::QueryLog log;
+  obs::TelemetryServer server(
+      {.port = 0, .worker_threads = 3, .metrics = &metrics, .query_log = &log});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Writers mutate counters and the query log while scrapers hit every
+  // endpoint over real sockets — the TSan run of this test is the
+  // concurrent-scrape-safety gate.
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&metrics, &log] {
+      for (int i = 0; i < 200; ++i) {
+        metrics.counter("pref.cache.hits")->Increment();
+        metrics.SetGauge("pref.pool.queue_depth", static_cast<double>(i));
+        obs::QueryRecord record;
+        record.strategy = "FtP";
+        record.millis = 0.1;
+        log.Add(std::move(record));
+      }
+    });
+  }
+  for (int s = 0; s < 3; ++s) {
+    threads.emplace_back([&server, s] {
+      const char* paths[] = {"/metrics", "/metrics.json", "/queries"};
+      for (int i = 0; i < 20; ++i) {
+        HttpReply reply = Fetch(
+            server.port(),
+            std::string("GET ") + paths[(s + i) % 3] + " HTTP/1.1");
+        EXPECT_EQ(reply.status, 200);
+        EXPECT_FALSE(reply.body.empty());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  server.Stop();
+  EXPECT_EQ(metrics.counter("pref.cache.hits")->value(), 400u);
+  EXPECT_EQ(log.total_added(), 400u);
+}
+
+// ---------------------------------------------------------------------------
+// Query-log ring buffer.
+
+TEST(QueryLogTest, RingWrapsOldestFirst) {
+  obs::QueryLog log(4);
+  EXPECT_EQ(log.capacity(), 4u);
+  for (uint64_t i = 0; i < 6; ++i) {
+    obs::QueryRecord record;
+    record.sql_hash = i;
+    log.Add(std::move(record));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total_added(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  std::vector<obs::QueryRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sql_hash, i + 2) << "not oldest-first at " << i;
+    EXPECT_EQ(records[i].sequence, i + 2);
+  }
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"dropped\": 2"), std::string::npos) << json;
+}
+
+TEST(QueryLogTest, ConcurrentWritersLoseNothing) {
+  obs::QueryLog log(64);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 250;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&log, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        obs::QueryRecord record;
+        record.sql_hash = static_cast<uint64_t>(w) * 1000 + i;
+        log.Add(std::move(record));
+      }
+    });
+  }
+  // Concurrent readers: snapshots must always be internally consistent.
+  threads.emplace_back([&log] {
+    for (int i = 0; i < 50; ++i) {
+      std::vector<obs::QueryRecord> records = log.Snapshot();
+      for (size_t j = 1; j < records.size(); ++j) {
+        EXPECT_LT(records[j - 1].sequence, records[j].sequence);
+      }
+      (void)log.ToJson();
+    }
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(log.total_added(), static_cast<uint64_t>(kWriters * kPerWriter));
+  EXPECT_EQ(log.size(), 64u);
+  std::vector<obs::QueryRecord> records = log.Snapshot();
+  // The survivors are the last 64 sequences, in order.
+  ASSERT_EQ(records.size(), 64u);
+  for (size_t i = 1; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].sequence, records[i - 1].sequence + 1);
+  }
+  EXPECT_EQ(records.back().sequence,
+            static_cast<uint64_t>(kWriters * kPerWriter) - 1);
+}
+
+// ---------------------------------------------------------------------------
+// SET SLOWLOG end to end.
+
+TEST(SlowlogTest, StampsSlowQueriesWithTraces) {
+  ImdbOptions gen;
+  gen.scale = 0.0008;
+  gen.seed = 7;
+  auto catalog = GenerateImdb(gen);
+  ASSERT_TRUE(catalog.ok());
+  Session session(std::move(*catalog));
+  const std::string sql =
+      "SELECT title FROM MOVIES "
+      "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 RANKED";
+
+  // Threshold 0: everything is slow, every record carries its span tree.
+  auto armed = session.Query("SET SLOWLOG 0");
+  ASSERT_TRUE(armed.ok()) << armed.status().ToString();
+  EXPECT_EQ(armed->executed_plan, "SET SLOWLOG 0");
+  auto r1 = session.Query(sql);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  {
+    std::vector<obs::QueryRecord> records =
+        session.engine().query_log().Snapshot();
+    ASSERT_FALSE(records.empty());
+    const obs::QueryRecord& last = records.back();
+    EXPECT_FALSE(last.failed);
+    EXPECT_GT(last.rows_out, 0u);
+    EXPECT_NE(last.sql_hash, 0u);
+    EXPECT_NE(last.slow_trace.find("Query"), std::string::npos)
+        << last.slow_trace;
+    EXPECT_NE(last.slow_trace.find("time="), std::string::npos)
+        << last.slow_trace;
+  }
+
+  // Disarmed: no more slow traces, but records still land.
+  auto off = session.Query("SET SLOWLOG OFF");
+  ASSERT_TRUE(off.ok()) << off.status().ToString();
+  EXPECT_EQ(off->executed_plan, "SET SLOWLOG OFF");
+  auto r2 = session.Query(sql);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  {
+    std::vector<obs::QueryRecord> records =
+        session.engine().query_log().Snapshot();
+    const obs::QueryRecord& last = records.back();
+    EXPECT_TRUE(last.slow_trace.empty());
+    EXPECT_FALSE(last.failed);
+  }
+
+  // Failures are recorded too, with the failure message.
+  auto bad = session.Query(
+      "SELECT title, year FROM MOVIES WHERE d_id <= 20 "
+      "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 0.9 "
+      "UNION "
+      "SELECT title, year FROM MOVIES WHERE year >= 2005 "
+      "PREFERRING (duration <= 120) SCORE 0.6 CONF 0.5 RANKED",
+      [] {
+        QueryOptions options;
+        options.strategy = StrategyKind::kFtP;
+        return options;
+      }());
+  ASSERT_FALSE(bad.ok());
+  std::vector<obs::QueryRecord> records =
+      session.engine().query_log().Snapshot();
+  const obs::QueryRecord& last = records.back();
+  EXPECT_TRUE(last.failed);
+  EXPECT_FALSE(last.failure_message.empty());
+
+  // Bad pragma values are rejected at parse time.
+  EXPECT_FALSE(session.Query("SET SLOWLOG -5").ok());
+  EXPECT_FALSE(session.Query("SET SLOWLOG fast").ok());
+}
+
+}  // namespace
+}  // namespace prefdb

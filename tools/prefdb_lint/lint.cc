@@ -248,6 +248,27 @@ void CheckTodoRule(const std::string& path,
   }
 }
 
+void CheckMetricRegistryRule(const std::string& path,
+                             const std::vector<std::string_view>& lines,
+                             std::vector<Violation>* out) {
+  constexpr std::string_view kRule = "metric-registry";
+  if (!PathUnder(path, "src/")) return;
+  // The registry header is the one place pref.* literals belong.
+  if (PathUnder(path, "src/obs/metric_names.h")) return;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    if (LineAllows(lines[i], kRule)) continue;
+    // A double-quoted literal starting with pref. — a metric name spelled
+    // inline instead of referencing an obs::kPref* constant.
+    if (CodeOf(lines[i]).find("\"pref.") != std::string_view::npos) {
+      out->push_back({path, static_cast<int>(i + 1), std::string(kRule),
+                      "inline pref.* metric name: declare it in "
+                      "src/obs/metric_names.h and reference the obs::kPref* "
+                      "constant so every metric is discoverable from the "
+                      "central registry"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string FormatViolation(const Violation& v) {
@@ -266,6 +287,7 @@ std::vector<Violation> LintContent(const std::string& path,
   CheckCatalogRule(normalized, lines, &out);
   CheckCacheDeterminismRule(normalized, lines, &out);
   CheckTodoRule(normalized, lines, &out);
+  CheckMetricRegistryRule(normalized, lines, &out);
   return out;
 }
 

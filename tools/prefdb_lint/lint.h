@@ -30,6 +30,12 @@
 ///                       randomness, or the environment: fingerprints must
 ///                       be a pure function of the query and catalog state.
 ///   todo-owner          Every TODO must name an owner: `TODO(name): ...`.
+///   metric-registry     Every `pref.*` metric name must be declared in the
+///                       central registry header src/obs/metric_names.h; a
+///                       string literal starting with "pref." anywhere else
+///                       under src/ is an unregistered metric name that
+///                       dashboards and the Prometheus endpoint cannot
+///                       discover from one place.
 ///
 /// Any rule can be suppressed on a single line with a trailing
 /// `// lint:allow(<rule>)` comment stating why.

@@ -28,6 +28,8 @@ int main(int argc, char** argv) {
           "  catalog-mutation   mutable_catalog() only under src/engine/\n"
           "  cache-determinism  no clocks/randomness/env in src/cache/\n"
           "  todo-owner         TODOs must name an owner\n"
+          "  metric-registry    pref.* metric names only in "
+          "src/obs/metric_names.h\n"
           "Suppress a line with: // lint:allow(<rule>) <reason>\n");
       return 0;
     }

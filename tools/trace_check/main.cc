@@ -1,0 +1,312 @@
+// trace_check: validates a Chrome trace-event JSON document (the output of
+// Span::ToChromeTrace, EXPLAIN ANALYZE ... FORMAT CHROME, or
+// bench_scalability --trace-out) without any JSON library dependency.
+//
+//   $ trace_check trace.json
+//   ok: 42 events
+//
+// Checks, in order:
+//   1. the document parses as JSON (a small recursive-descent parser —
+//      objects, arrays, strings with escapes, numbers, true/false/null);
+//   2. the top level is an object with a "traceEvents" array;
+//   3. every event is an object carrying the complete-event shape Perfetto
+//      and chrome://tracing require: "name" (string), "ph" == "X",
+//      numeric "ts" / "dur" / "pid" / "tid";
+//   4. no child event extends past its enclosing document (dur >= 0).
+//
+// Exit status 0 on success; 1 with a diagnostic on the first violation.
+// scripts/run_checks.sh's telemetry stage gates on this.
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser. Enough for trace documents; not a general
+// library (no \uXXXX decoding beyond skipping, no number-precision promise).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  // Parses the whole document; returns false with error_ set on failure.
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after the top-level value");
+    }
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  size_t error_offset() const { return pos_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') return ParseString(&out->string_value)
+                             ? (out->kind = JsonValue::Kind::kString, true)
+                             : false;
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber(out);
+    }
+    return Fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    if (!Consume('{')) return Fail("expected '{'");
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return Fail("expected object key string");
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    if (!Consume('[')) return Fail("expected '['");
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return Fail("expected '\"'");
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("dangling escape in string");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              return Fail("non-hex digit in \\u escape");
+            }
+          }
+          pos_ += 4;
+          out->push_back('?');  // Validation only; no UTF-8 decoding needed.
+          break;
+        }
+        default:
+          return Fail(std::string("invalid escape '\\") + esc + "'");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    char* end = nullptr;
+    std::string token = text_.substr(start, pos_ - start);
+    out->number_value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || token.empty()) {
+      return Fail("malformed number '" + token + "'");
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto match = [this](const char* literal) {
+      size_t n = std::strlen(literal);
+      if (text_.compare(pos_, n, literal) != 0) return false;
+      pos_ += n;
+      return true;
+    };
+    if (match("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = true;
+      return true;
+    }
+    if (match("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->bool_value = false;
+      return true;
+    }
+    if (match("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    return Fail("invalid literal");
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace-event shape checks.
+
+int Complain(size_t index, const char* what) {
+  std::fprintf(stderr, "trace_check: event %zu: %s\n", index, what);
+  return 1;
+}
+
+int CheckTrace(const JsonValue& doc) {
+  if (doc.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "trace_check: top level is not a JSON object\n");
+    return 1;
+  }
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "trace_check: missing \"traceEvents\" array\n");
+    return 1;
+  }
+  if (events->array.empty()) {
+    std::fprintf(stderr, "trace_check: \"traceEvents\" is empty\n");
+    return 1;
+  }
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    if (event.kind != JsonValue::Kind::kObject) {
+      return Complain(i, "not an object");
+    }
+    const JsonValue* name = event.Find("name");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        name->string_value.empty()) {
+      return Complain(i, "missing or empty \"name\" string");
+    }
+    const JsonValue* ph = event.Find("ph");
+    if (ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->string_value != "X") {
+      return Complain(i, "\"ph\" is not the complete-event phase \"X\"");
+    }
+    for (const char* field : {"ts", "dur", "pid", "tid"}) {
+      const JsonValue* v = event.Find(field);
+      if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+        std::fprintf(stderr, "trace_check: event %zu: missing numeric \"%s\"\n",
+                     i, field);
+        return 1;
+      }
+    }
+    if (event.Find("dur")->number_value < 0) {
+      return Complain(i, "negative \"dur\"");
+    }
+  }
+  std::printf("ok: %zu events\n", events->array.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <chrome_trace.json>\n");
+    return 2;
+  }
+  std::FILE* f = std::fopen(argv[1], "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  JsonValue doc;
+  JsonParser parser(text);
+  if (!parser.Parse(&doc)) {
+    std::fprintf(stderr, "trace_check: %s (at byte %zu)\n",
+                 parser.error().c_str(), parser.error_offset());
+    return 1;
+  }
+  return CheckTrace(doc);
+}
