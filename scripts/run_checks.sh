@@ -15,12 +15,16 @@
 #           port), curls /healthz and /metrics, checks the Prometheus
 #           exposition carries the pref_* metric families, and validates the
 #           kMorsel Chrome trace it wrote with tools/trace_check
+#   faults  resilience gate: the governor/fault-injection/cancellation tests
+#           (governor_test, fault_injection_test, thread_pool_test,
+#           cache_test) under BOTH the ASan+UBSan and TSan builds — unwind
+#           paths must release temps and never race
 #
 # Every stage is on by default and individually skippable:
 #
 #   scripts/run_checks.sh [--no-tier1] [--no-lint] [--no-tidy]
 #                         [--no-asan] [--no-tsan] [--no-bench]
-#                         [--no-telemetry]
+#                         [--no-telemetry] [--no-faults]
 #
 # (--no-tsan alone reproduces the historical fast-iteration mode.)
 set -euo pipefail
@@ -28,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 RUN_TIER1=1 RUN_LINT=1 RUN_TIDY=1 RUN_ASAN=1 RUN_TSAN=1 RUN_BENCH=1
-RUN_TELEMETRY=1
+RUN_TELEMETRY=1 RUN_FAULTS=1
 for arg in "$@"; do
   case "$arg" in
     --no-tier1) RUN_TIER1=0 ;;
@@ -38,6 +42,7 @@ for arg in "$@"; do
     --no-tsan)  RUN_TSAN=0 ;;
     --no-bench) RUN_BENCH=0 ;;
     --no-telemetry) RUN_TELEMETRY=0 ;;
+    --no-faults) RUN_FAULTS=0 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
 done
@@ -98,6 +103,30 @@ if [ "$RUN_BENCH" -eq 1 ]; then
       exit 1
     fi
   done
+fi
+
+if [ "$RUN_FAULTS" -eq 1 ]; then
+  echo "== faults: governor + fault-injection tests under ASan and TSan =="
+  # The resilience suite: every governor trip and injected fault must unwind
+  # without leaks (ASan: temp tables, cache entries, partial p-relations)
+  # and without races (TSan: Cancel() from another thread vs. checkpoints).
+  FAULT_TESTS='^(governor_test|fault_injection_test|thread_pool_test|cache_test)$'
+  # Configure unconditionally: a cached re-configure is cheap and a stale
+  # tree would otherwise not know newly added test targets.
+  cmake -B build-asan -S . -DPREFDB_SANITIZE=address,undefined \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-asan -j --target \
+    governor_test fault_injection_test thread_pool_test cache_test
+  ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+  UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
+    ctest --test-dir build-asan -R "$FAULT_TESTS" --output-on-failure
+
+  cmake -B build-tsan -S . -DPREFDB_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build build-tsan -j --target \
+    governor_test fault_injection_test thread_pool_test cache_test
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}" \
+    ctest --test-dir build-tsan -R "$FAULT_TESTS" --output-on-failure
 fi
 
 if [ "$RUN_TELEMETRY" -eq 1 ]; then

@@ -14,17 +14,14 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-tsan}"
 if [ "$#" -ge 1 ]; then shift; fi
 
-# Reuse an already-configured build tree: re-running cmake on every
-# invocation re-evaluates the toolchain for no benefit, and run_checks.sh
-# calls this after a full matrix. The configure only happens on first use
-# (or after `rm -rf build-tsan`).
-if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
-  cmake -B "$BUILD_DIR" -S . -DPREFDB_SANITIZE=thread \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo
-fi
+# Configure unconditionally: a cached re-configure is cheap, and a tree
+# configured before a test target was added would otherwise fail the
+# explicit --target build below with "No rule to make target".
+cmake -B "$BUILD_DIR" -S . -DPREFDB_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$BUILD_DIR" -j --target \
   thread_pool_test parallel_equivalence_test obs_test cache_test \
-  telemetry_test
+  telemetry_test governor_test fault_injection_test
 
 # halt_on_error: fail fast on the first report instead of drowning it in
 # follow-on races; second_deadlock_stack: full stacks for lock inversions.

@@ -1,0 +1,71 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+FaultInjection& FaultInjection::Global() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+FaultInjection::FaultInjection() {
+  // PREFDB_FAULT=point or PREFDB_FAULT=point:<skip> arms without any code
+  // change — how run_checks.sh drives whole binaries through a fault.
+  const char* env = std::getenv("PREFDB_FAULT");
+  if (env == nullptr || env[0] == '\0') return;
+  std::string spec(env);
+  uint64_t skip = 0;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(spec.c_str() + colon + 1, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      skip = static_cast<uint64_t>(n);
+      spec.resize(colon);
+    }
+  }
+  Arm(std::move(spec), skip);
+}
+
+void FaultInjection::Arm(std::string point, uint64_t skip) {
+  MutexLock lock(&mu_);
+  point_ = std::move(point);
+  remaining_skips_ = skip;
+  armed_.store(1, std::memory_order_release);
+}
+
+void FaultInjection::Disarm() {
+  MutexLock lock(&mu_);
+  armed_.store(0, std::memory_order_release);
+  point_.clear();
+  remaining_skips_ = 0;
+}
+
+std::string FaultInjection::armed_point() const {
+  MutexLock lock(&mu_);
+  return point_;
+}
+
+Status FaultInjection::HitSlow(std::string_view point) {
+  MutexLock lock(&mu_);
+  // Re-test under the lock: a racing Disarm()/fire may have beaten us here.
+  if (armed_.load(std::memory_order_relaxed) == 0) return Status::OK();
+  if (point != point_) return Status::OK();
+  if (remaining_skips_ > 0) {
+    --remaining_skips_;
+    return Status::OK();
+  }
+  // One-shot: disarm before reporting so exactly one Hit() fires even when
+  // several workers reach the point concurrently.
+  armed_.store(0, std::memory_order_release);
+  std::string fired_point = point_;
+  point_.clear();
+  fired_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal(
+      StrFormat("injected fault at '%s'", fired_point.c_str()));
+}
+
+}  // namespace prefdb

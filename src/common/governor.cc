@@ -1,0 +1,63 @@
+#include "common/governor.h"
+
+#include "common/string_util.h"
+
+namespace prefdb {
+
+void QueryGovernor::ArmDeadline(double timeout_ms) {
+  if (timeout_ms < 0.0) {
+    deadline_armed_ = false;
+    return;
+  }
+  deadline_armed_ = true;
+  timeout_ms_ = timeout_ms;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(timeout_ms));
+}
+
+Status QueryGovernor::Trip(StatusCode code, std::string message) const {
+  MutexLock lock(&mu_);
+  // First trip wins; later trippers report the original cause so the
+  // failure code a query surfaces does not depend on checkpoint timing.
+  if (tripped_code_.load(std::memory_order_relaxed) == StatusCode::kOk) {
+    trip_message_ = std::move(message);
+    tripped_code_.store(code, std::memory_order_release);
+  }
+  return Status(tripped_code_.load(std::memory_order_relaxed), trip_message_);
+}
+
+Status QueryGovernor::trip_status() const {
+  StatusCode code = tripped_code_.load(std::memory_order_acquire);
+  if (code == StatusCode::kOk) return Status::OK();
+  MutexLock lock(&mu_);
+  return Status(code, trip_message_);
+}
+
+Status QueryGovernor::Check() const {
+  if (tripped()) return trip_status();
+  if (token_.cancelled() || (external_ != nullptr && external_->cancelled())) {
+    return Trip(StatusCode::kCancelled, "query cancelled");
+  }
+  if (deadline_armed_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Trip(StatusCode::kDeadlineExceeded,
+                StrFormat("statement timeout of %.0f ms exceeded",
+                          timeout_ms_));
+  }
+  return Status::OK();
+}
+
+Status QueryGovernor::ChargeBytes(size_t bytes) const {
+  if (limit_bytes_ == 0) return Status::OK();
+  size_t total =
+      charged_bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (total > limit_bytes_) {
+    return Trip(StatusCode::kResourceExhausted,
+                StrFormat("memory limit of %zu bytes exceeded "
+                          "(%zu bytes materialized)",
+                          limit_bytes_, total));
+  }
+  return Status::OK();
+}
+
+}  // namespace prefdb

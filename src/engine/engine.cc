@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "engine/executor.h"
 #include "engine/native_optimizer.h"
@@ -19,6 +20,9 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
   // race-free per-query deltas as before.
   Stopwatch watch;
   query_count_->Increment();
+  RETURN_IF_ERROR(FaultInjection::Global().Hit("engine.execute"));
+  const QueryGovernor* governor = parallel_.governor;
+  RETURN_IF_ERROR(GovernorCheck(governor));
   auto run = [&](ExecStats* s) -> StatusOr<Relation> {
     ++s->engine_queries;
     // The executor inherits this engine's parallel context and span: its
@@ -31,12 +35,19 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
     exec.span = span;
     exec.metrics = &native_metrics_;
     exec.trace_level = trace_level_;
-    if (!native_optimizer_enabled_) {
-      return ExecutePlan(query, &catalog_, s, exec);
+    // Governor trips inside morsel-loop bodies unwind as exceptions
+    // (rethrown by TaskGroup::Wait after every sibling joined); this is
+    // the boundary where they become the Status the strategies propagate.
+    try {
+      if (!native_optimizer_enabled_) {
+        return ExecutePlan(query, &catalog_, s, exec);
+      }
+      ASSIGN_OR_RETURN(NativeOptimizerResult optimized,
+                       NativeOptimize(query, catalog_));
+      return ExecutePlan(*optimized.plan, &catalog_, s, exec);
+    } catch (const QueryAbortedException& aborted) {
+      return aborted.status();
     }
-    ASSIGN_OR_RETURN(NativeOptimizerResult optimized,
-                     NativeOptimize(query, catalog_));
-    return ExecutePlan(*optimized.plan, &catalog_, s, exec);
   };
 
   // Fingerprint against the *pre*-native-optimization plan: the optimizer
@@ -53,6 +64,16 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
     }
   }
 
+  // Cooperative memory accounting: every relation this call materializes
+  // for its caller — warm or cold — is charged against the governor's
+  // budget before it can be admitted to the cache or returned.
+  auto charge = [&](const Relation& rel) -> Status {
+    // The byte estimate walks the rows, so skip it (not just the charge)
+    // unless a budget is actually armed.
+    if (governor == nullptr || !governor->memory_armed()) return Status::OK();
+    return governor->ChargeBytes(cache::EstimateRelationBytes(rel));
+  };
+
   StatusOr<Relation> result = Status::Internal("unreachable");
   if (use_cache) {
     if (std::shared_ptr<const cache::CachedResult> entry =
@@ -62,6 +83,7 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
       stats->Merge(entry->stats);
       obs::AppendDetail(span, "cache=hit");
       query_micros_->Record(watch.ElapsedMicros());
+      RETURN_IF_ERROR(charge(entry->rel));
       return entry->rel;
     }
     obs::AppendDetail(span, "cache=miss");
@@ -69,13 +91,28 @@ StatusOr<Relation> Engine::ExecuteConcurrent(const PlanNode& query,
     result = run(&local);
     stats->Merge(local);
     if (result.ok()) {
-      auto entry = std::make_shared<cache::CachedResult>();
-      entry->rel = *result;
-      entry->stats = local;
-      cache_.Insert(key, std::move(entry));
+      Status admitted = charge(*result);
+      if (admitted.ok()) {
+        admitted = FaultInjection::Global().Hit("cache.insert");
+      }
+      if (!admitted.ok()) {
+        result = std::move(admitted);
+      } else if (governor == nullptr || !governor->tripped()) {
+        // Only untripped results are admitted: a query that failed, was
+        // cancelled mid-flight or hit a fault point never populates a
+        // shard, so later queries cannot reuse poisoned state.
+        auto entry = std::make_shared<cache::CachedResult>();
+        entry->rel = *result;
+        entry->stats = local;
+        cache_.Insert(key, std::move(entry));
+      }
     }
   } else {
     result = run(stats);
+    if (result.ok()) {
+      Status admitted = charge(*result);
+      if (!admitted.ok()) result = std::move(admitted);
+    }
   }
   query_micros_->Record(watch.ElapsedMicros());
   return result;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "parallel/morsel.h"
 
@@ -25,6 +26,10 @@ class Executor {
 
   StatusOr<Relation> Execute(const PlanNode& node, obs::Span* parent) {
     ++stats_->operator_invocations;
+    // Operator-entry checkpoint: bounds cancellation latency to one
+    // operator even when every region below takes the serial path.
+    RETURN_IF_ERROR(GovernorCheck(parallel_));
+    RETURN_IF_ERROR(FaultInjection::Global().Hit("exec.operator"));
     switch (node.kind) {
       case PlanKind::kScan:
         return ExecScan(node, /*predicate=*/nullptr, parent);
@@ -149,6 +154,7 @@ class Executor {
         // the buffers in morsel order reproduces the serial row order.
         std::vector<std::vector<Tuple>> kept(plan.morsel_count());
         ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
+          GovernorCheckpoint(parallel_);
           std::vector<Tuple>& local = kept[m.index];
           for (size_t i = m.begin; i < m.end; ++i) {
             if (IsTruthy(bound->Eval(rows[i]))) local.push_back(rows[i]);
@@ -333,6 +339,7 @@ class Executor {
         // output row order exactly.
         std::vector<std::vector<Tuple>> buffers(plan.morsel_count());
         ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
+          GovernorCheckpoint(parallel_);
           std::vector<Tuple>& local = buffers[m.index];
           for (size_t i = m.begin; i < m.end; ++i) {
             const Tuple& lrow = lrows[i];
@@ -361,9 +368,14 @@ class Executor {
       MorselPlan plan = PlanFor(lrows.size());
       obs::Span* morsel_parent = MorselParent(probe_scope.get());
       if (plan.serial() && morsel_parent == nullptr) {
+        // Quadratic serial path: tick per probe so a single covering morsel
+        // cannot defer cancellation to the end of the cross product.
+        GovernorTicker ticker(parallel_ == nullptr ? nullptr
+                                                   : parallel_->governor);
         for (const Tuple& lrow : lrows) {
           bool matched = false;
           for (const Tuple& rrow : rrows) {
+            ticker.Tick();
             Tuple joined = ConcatTuples(lrow, rrow);
             if (!IsTruthy(bound->Eval(joined))) continue;
             if (semi) {
@@ -377,6 +389,7 @@ class Executor {
       } else {
         std::vector<std::vector<Tuple>> buffers(plan.morsel_count());
         ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
+          GovernorCheckpoint(parallel_);
           std::vector<Tuple>& local = buffers[m.index];
           for (size_t i = m.begin; i < m.end; ++i) {
             const Tuple& lrow = lrows[i];
@@ -474,6 +487,7 @@ class Executor {
         } else {
           std::vector<uint8_t> member(lrows.size(), 0);
           ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
+            GovernorCheckpoint(parallel_);
             for (size_t i = m.begin; i < m.end; ++i) {
               member[i] = right_set.count(lrows[i]) > 0 ? 1 : 0;
             }
@@ -518,6 +532,7 @@ class Executor {
       std::vector<Tuple>& rows = *input.mutable_rows();
       std::vector<size_t> hashes(rows.size());
       ParallelForTraced(plan, morsel_parent, [&](size_t, const Morsel& m) {
+        GovernorCheckpoint(parallel_);
         for (size_t i = m.begin; i < m.end; ++i) {
           hashes[i] = TupleHash()(rows[i]);
         }

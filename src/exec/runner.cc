@@ -1,8 +1,10 @@
 #include "exec/runner.h"
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "exec/personalize.h"
+#include "obs/metric_names.h"
 #include "palgebra/filters.h"
 
 namespace prefdb {
@@ -89,6 +91,40 @@ QueryResult Session::ApplySlowlogPragma(const SlowlogPragma& pragma) {
   return result;
 }
 
+QueryResult Session::ApplyTimeoutPragma(const TimeoutPragma& pragma) {
+  statement_timeout_ms_ = pragma.timeout_ms;
+  QueryResult result;
+  result.executed_plan =
+      pragma.timeout_ms < 0.0
+          ? "SET STATEMENT_TIMEOUT OFF"
+          : StrFormat("SET STATEMENT_TIMEOUT %.0f", pragma.timeout_ms);
+  return result;
+}
+
+QueryResult Session::ApplyMemoryPragma(const MemoryPragma& pragma) {
+  session_memory_limit_bytes_ = pragma.limit_bytes;
+  QueryResult result;
+  result.executed_plan =
+      pragma.limit_bytes == 0
+          ? "SET MEMORY LIMIT OFF"
+          : StrFormat("SET MEMORY LIMIT %zu", pragma.limit_bytes);
+  return result;
+}
+
+QueryResult Session::ApplyFaultPragma(const FaultPragma& pragma) {
+  QueryResult result;
+  if (pragma.point.empty()) {
+    FaultInjection::Global().Disarm();
+    result.executed_plan = "SET FAULT OFF";
+  } else {
+    FaultInjection::Global().Arm(pragma.point, pragma.skip);
+    result.executed_plan =
+        StrFormat("SET FAULT '%s' AFTER %llu", pragma.point.c_str(),
+                  static_cast<unsigned long long>(pragma.skip));
+  }
+  return result;
+}
+
 StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
                                    const QueryOptions& options) {
   last_failure_.reset();
@@ -98,8 +134,34 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
   if (parsed.slowlog_pragma.present) {
     return ApplySlowlogPragma(parsed.slowlog_pragma);
   }
+  if (parsed.timeout_pragma.present) {
+    return ApplyTimeoutPragma(parsed.timeout_pragma);
+  }
+  if (parsed.memory_pragma.present) {
+    return ApplyMemoryPragma(parsed.memory_pragma);
+  }
+  if (parsed.fault_pragma.present) {
+    return ApplyFaultPragma(parsed.fault_pragma);
+  }
   Stopwatch watch;
-  engine_.set_parallel_context(options.parallel);
+
+  // Per-query governor: lives on this frame for the duration of one query
+  // (sessions run one query at a time, and the engine's parallel context
+  // drops the pointer below before Run returns). Per-query options win
+  // over the session defaults armed by the governor pragmas.
+  QueryGovernor governor;
+  const double timeout_ms =
+      options.timeout_ms >= 0.0 ? options.timeout_ms : statement_timeout_ms_;
+  if (timeout_ms >= 0.0) governor.ArmDeadline(timeout_ms);
+  governor.ArmMemoryLimit(options.memory_limit_bytes != 0
+                              ? options.memory_limit_bytes
+                              : session_memory_limit_bytes_);
+  if (options.cancel_token != nullptr) {
+    governor.AttachToken(options.cancel_token);
+  }
+  ParallelContext governed = options.parallel;
+  governed.governor = &governor;
+  engine_.set_parallel_context(governed);
   engine_.set_trace_level(options.trace_level);
 
   // Per-query cache override: flip the engine-wide switch for the duration
@@ -126,12 +188,28 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
   // of the engine counters — which was both racy under concurrent sessions
   // and blind on the error path.
   ExecStats stats;
-  StatusOr<QueryResult> outcome =
-      RunInternal(parsed, options, strategy.get(), &stats, root.get());
+  const uint64_t faults_before = FaultInjection::Global().fired();
+  StatusOr<QueryResult> outcome = Status::Internal("unreachable");
+  // Checkpoints inside void morsel-loop bodies unwind as exceptions
+  // (TaskGroup::Wait joins every sibling, then rethrows the first); most
+  // convert back to Status inside Engine::ExecuteConcurrent, but trips in
+  // strategy-level parallel regions (BU subtree tasks, prefer sweeps)
+  // surface here. This is the outermost boundary — the public API never
+  // throws.
+  try {
+    outcome = RunInternal(parsed, options, strategy.get(), &stats, root.get());
+  } catch (const QueryAbortedException& aborted) {
+    outcome = aborted.status();
+  }
   double millis = watch.ElapsedMillis();
   if (options.cache.has_value()) {
     engine_.cache()->set_enabled(saved_cache_enabled);
   }
+  // Drop the stack-local governor from the engine's context: anything that
+  // executes against the engine after this frame returns (telemetry
+  // refresh hooks, direct Engine::Execute calls) must not observe a
+  // dangling pointer.
+  engine_.set_parallel_context(options.parallel);
 
   engine_.mutable_stats()->Merge(stats);
   // Fold the per-query deltas into the engine's cumulative metrics registry
@@ -164,14 +242,35 @@ StatusOr<QueryResult> Session::Run(const ParsedQuery& parsed,
     // A failed query used to discard its Stopwatch and partial counters;
     // keep them on the session so callers can attribute the wasted work.
     metrics.counter("session.query_failures")->Increment();
+    // Governor accounting: which limit (if any) ended this query, and
+    // whether an armed fault point fired during it.
+    switch (outcome.status().code()) {
+      case StatusCode::kCancelled:
+        metrics.counter(obs::kPrefGovernorCancelled)->Increment();
+        break;
+      case StatusCode::kDeadlineExceeded:
+        metrics.counter(obs::kPrefGovernorDeadlineExceeded)->Increment();
+        break;
+      case StatusCode::kResourceExhausted:
+        metrics.counter(obs::kPrefGovernorResourceExhausted)->Increment();
+        break;
+      default:
+        break;
+    }
+    const uint64_t faults_fired = FaultInjection::Global().fired() - faults_before;
+    if (faults_fired > 0) {
+      metrics.counter(obs::kPrefGovernorFaultsInjected)->Increment(faults_fired);
+    }
     FailureReport report;
     report.strategy = std::string(strategy->name());
     report.message = outcome.status().message();
+    report.code = outcome.status().code();
     report.millis = millis;
     report.stats = stats;
     last_failure_ = std::move(report);
     record.failed = true;
     record.failure_message = outcome.status().message();
+    record.failure_code = std::string(StatusCodeName(outcome.status().code()));
     if (slow && root != nullptr) record.slow_trace = root->ToString();
     query_log.Add(std::move(record));
     return outcome.status();

@@ -43,6 +43,19 @@ struct QueryOptions {
   /// is enabled/disabled for this query only (the engine-wide setting —
   /// toggled by the `SET CACHE ON|OFF` pragma — is restored afterwards).
   std::optional<bool> cache;
+  /// Wall-clock statement deadline in milliseconds, enforced cooperatively
+  /// at the governor checkpoints. Negative (the default) defers to the
+  /// session's `SET STATEMENT_TIMEOUT` value; >= 0 overrides it for this
+  /// query (0 trips at the first checkpoint).
+  double timeout_ms = -1.0;
+  /// Cooperative memory budget in bytes for this query's materializations
+  /// (intermediate p-relations, GBU temp tables, cached results). 0 (the
+  /// default) defers to the session's `SET MEMORY LIMIT` value.
+  size_t memory_limit_bytes = 0;
+  /// Optional caller-owned cancellation handle: flip it from any thread
+  /// and the query unwinds (Status kCancelled) at its next checkpoint.
+  /// Must outlive the Run() call. Null means not externally cancellable.
+  const CancellationToken* cancel_token = nullptr;
 };
 
 /// The answer of a preferential query plus its execution telemetry.
@@ -107,6 +120,10 @@ class Session {
   struct FailureReport {
     std::string strategy;
     std::string message;
+    /// Status code of the failure — distinguishes governor trips
+    /// (kCancelled / kDeadlineExceeded / kResourceExhausted) from genuine
+    /// execution errors.
+    StatusCode code = StatusCode::kOk;
     double millis = 0.0;
     ExecStats stats;
   };
@@ -124,9 +141,19 @@ class Session {
   QueryResult ApplyCachePragma(const CachePragma& pragma);
   /// Applies a `SET SLOWLOG` pragma to the engine's query log.
   QueryResult ApplySlowlogPragma(const SlowlogPragma& pragma);
+  /// Applies a `SET STATEMENT_TIMEOUT` pragma (session deadline default).
+  QueryResult ApplyTimeoutPragma(const TimeoutPragma& pragma);
+  /// Applies a `SET MEMORY LIMIT` pragma (session budget default).
+  QueryResult ApplyMemoryPragma(const MemoryPragma& pragma);
+  /// Applies a `SET FAULT` pragma to the process-wide fault registry.
+  QueryResult ApplyFaultPragma(const FaultPragma& pragma);
 
   Engine engine_;
   std::optional<FailureReport> last_failure_;
+  /// Session defaults armed by the governor pragmas; per-query
+  /// QueryOptions values take precedence when set.
+  double statement_timeout_ms_ = -1.0;
+  size_t session_memory_limit_bytes_ = 0;
 };
 
 }  // namespace prefdb

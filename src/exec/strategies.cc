@@ -10,6 +10,8 @@
 
 #include "cache/fingerprint.h"
 #include "cache/query_cache.h"
+#include "common/fault_injection.h"
+#include "common/governor.h"
 #include "common/string_util.h"
 #include "optimizer/extended_optimizer.h"
 #include "palgebra/p_ops.h"
@@ -96,6 +98,17 @@ void AdoptTaskSpans(obs::Span* span, std::vector<obs::SpanPtr>* holders) {
   }
 }
 
+// Charges one materialized p-relation (rows plus score entries) against
+// the governor's memory budget. The byte estimate is an O(rows) walk, so
+// it only runs once a budget is actually armed — ungoverned and
+// unlimited-memory queries pay two loads here and nothing else.
+Status ChargePRelation(Engine* engine, const PRelation& p) {
+  const QueryGovernor* governor = engine->parallel_context().governor;
+  if (governor == nullptr || !governor->memory_armed()) return Status::OK();
+  RETURN_IF_ERROR(governor->ChargeBytes(cache::EstimateRelationBytes(p.rel)));
+  return governor->ChargeBytes(cache::EstimateScoreRelationBytes(p.scores));
+}
+
 // True if any prefer operator occurs strictly below a set operation — the
 // situation where the origin side of a result tuple is no longer
 // distinguishable in the flat result of the non-preference query, so the
@@ -139,6 +152,7 @@ StatusOr<PRelation> ApplyPrefersOnResult(const std::vector<PreferencePtr>& prefs
     ASSIGN_OR_RETURN(current,
                      EvalPrefer(*pref, current, agg, &engine->catalog(), stats,
                                 &engine->parallel_context(), scope.get()));
+    RETURN_IF_ERROR(ChargePRelation(engine, current));
   }
   return current;
 }
@@ -364,6 +378,10 @@ std::optional<cache::CacheKey> PreferResultKey(const PlanNode& node,
 
 void StorePreferResult(Engine* engine, const cache::CacheKey& key,
                        const PRelation& out, const ExecStats& delta) {
+  // Never admit a result computed under a tripped governor: the sweep may
+  // have stopped early, and a later warm query must not replay it.
+  const QueryGovernor* governor = engine->parallel_context().governor;
+  if (governor != nullptr && governor->tripped()) return;
   auto entry = std::make_shared<cache::CachedResult>();
   entry->rel = out.rel;
   entry->scores = out.scores;
@@ -481,7 +499,12 @@ class BUStrategy final : public Strategy {
                            const DelegatedQueryPrefetch* prefetch) {
     obs::SpanScope scope(parent, NodeLabel(node));
     ScoreWriteScope scores(scope.get(), stats);
-    return EvalNode(node, agg, engine, stats, scope.get(), prefetch);
+    ASSIGN_OR_RETURN(PRelation out,
+                     EvalNode(node, agg, engine, stats, scope.get(), prefetch));
+    // BU materializes every intermediate p-relation; each one is charged
+    // against the governor's budget as it comes into existence.
+    RETURN_IF_ERROR(ChargePRelation(engine, out));
+    return out;
   }
 
   StatusOr<PRelation> EvalNode(const PlanNode& node,
@@ -685,7 +708,9 @@ class GBUStrategy final : public Strategy {
           stats->Merge(entry->stats);
           obs::AppendDetail(scope.get(), "cache=hit");
           obs::SetRowsOut(scope.get(), entry->rel.NumRows());
-          return PRelation(entry->rel, entry->scores);
+          PRelation warm(entry->rel, entry->scores);
+          RETURN_IF_ERROR(ChargePRelation(engine, warm));
+          return warm;
         }
         obs::AppendDetail(scope.get(), "cache=miss");
         ExecStats local;
@@ -696,13 +721,18 @@ class GBUStrategy final : public Strategy {
                                     &engine->catalog(), &local,
                                     &engine->parallel_context(), scope.get()));
         stats->Merge(local);
+        RETURN_IF_ERROR(ChargePRelation(engine, out));
         StorePreferResult(engine, *key, out, local);
         return out;
       }
       ASSIGN_OR_RETURN(PRelation input, Eval(node.child(), agg, engine, stats,
                                              scope.get(), prefetch));
-      return EvalPrefer(*node.preference, input, agg, &engine->catalog(), stats,
-                        &engine->parallel_context(), scope.get());
+      ASSIGN_OR_RETURN(PRelation out,
+                       EvalPrefer(*node.preference, input, agg,
+                                  &engine->catalog(), stats,
+                                  &engine->parallel_context(), scope.get()));
+      RETURN_IF_ERROR(ChargePRelation(engine, out));
+      return out;
     }
 
     // An operator region above at least one prefer: materialize the
@@ -740,6 +770,7 @@ class GBUStrategy final : public Strategy {
     obs::SpanScope recombine(span, "RecombineScores");
     ScoreWriteScope scores(recombine.get(), stats);
     RETURN_IF_ERROR(RecombineScores(temps, agg, &out, stats));
+    RETURN_IF_ERROR(ChargePRelation(engine, out));
     return out;
   }
 
@@ -849,6 +880,12 @@ class GBUStrategy final : public Strategy {
         StrFormat("__gbu_tmp_%llu",
                   static_cast<unsigned long long>(
                       temp_counter.fetch_add(1, std::memory_order_relaxed) + 1));
+    // The temp table duplicates the materialized subtree in the shared
+    // catalog — charge it like any other materialization, and give fault
+    // tests a hook at the exact point where a temp is about to be
+    // registered (the unwind must drop every earlier temp of this region).
+    RETURN_IF_ERROR(ChargePRelation(engine, sub));
+    RETURN_IF_ERROR(FaultInjection::Global().Hit("gbu.register_temp"));
     TempInput temp;
     temp.table_name = name;
     temp.contributes_scores = score_contributing;

@@ -45,6 +45,20 @@ inline constexpr std::string_view kPrefNativeDistinctRows =
 inline constexpr std::string_view kPrefNativeParallelRegions =
     "pref.native.parallel_regions";
 
+// --- Query governor (src/common/governor, folded in by Session::Run) ----
+/// Queries that unwound on an external/internal cancellation request.
+inline constexpr std::string_view kPrefGovernorCancelled =
+    "pref.governor.cancelled";
+/// Queries that tripped their statement deadline.
+inline constexpr std::string_view kPrefGovernorDeadlineExceeded =
+    "pref.governor.deadline_exceeded";
+/// Queries that exceeded their cooperative memory budget.
+inline constexpr std::string_view kPrefGovernorResourceExhausted =
+    "pref.governor.resource_exhausted";
+/// Queries that failed at an armed fault-injection point.
+inline constexpr std::string_view kPrefGovernorFaultsInjected =
+    "pref.governor.faults_injected";
+
 // --- Live telemetry gauges (refreshed at scrape time) -------------------
 inline constexpr std::string_view kPrefPoolQueueDepth =
     "pref.pool.queue_depth";

@@ -81,6 +81,9 @@ std::string QueryLog::ToJson() const {
     if (!r.failure_message.empty()) {
       out += ", \"failure\": \"" + JsonEscape(r.failure_message) + "\"";
     }
+    if (!r.failure_code.empty()) {
+      out += ", \"failure_code\": \"" + JsonEscape(r.failure_code) + "\"";
+    }
     if (!r.slow_trace.empty()) {
       out += ", \"slow_trace\": \"" + JsonEscape(r.slow_trace) + "\"";
     }

@@ -27,6 +27,10 @@ struct QueryRecord {
   size_t threads = 1;           // Resolved parallel thread budget.
   bool failed = false;
   std::string failure_message;  // Session::last_failure() message.
+  /// Status code name of the failure ("Cancelled", "DeadlineExceeded",
+  /// "ResourceExhausted", "Internal", ...); empty on success. Lets /queries
+  /// scrapers distinguish governor trips from genuine execution errors.
+  std::string failure_code;
   /// Full rendered span tree (with timings) when the query ran at/above
   /// the slowlog threshold (`SET SLOWLOG <ms>`); empty otherwise.
   std::string slow_trace;

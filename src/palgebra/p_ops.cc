@@ -60,6 +60,7 @@ void CarryScores(const PRelation& input, PRelation* out, ExecStats* stats,
   std::vector<std::vector<std::pair<Tuple, ScoreConf>>> hits(
       plan.morsel_count());
   ParallelFor(plan, [&](size_t, const Morsel& m) {
+    GovernorCheckpoint(parallel);
     std::vector<std::pair<Tuple, ScoreConf>>& local = hits[m.index];
     for (size_t i = m.begin; i < m.end; ++i) {
       Tuple key = out->rel.KeyOf(rows[i]);
@@ -81,9 +82,10 @@ void CarryScores(const PRelation& input, PRelation* out, ExecStats* stats,
 std::vector<uint8_t> ParallelMembership(
     const std::vector<Tuple>& rows,
     const std::unordered_set<Tuple, TupleHash, TupleEq>& set,
-    const MorselPlan& plan) {
+    const MorselPlan& plan, const ParallelContext* parallel) {
   std::vector<uint8_t> member(rows.size(), 0);
   ParallelFor(plan, [&](size_t, const Morsel& m) {
+    GovernorCheckpoint(parallel);
     for (size_t i = m.begin; i < m.end; ++i) {
       member[i] = set.count(rows[i]) > 0 ? 1 : 0;
     }
@@ -140,6 +142,7 @@ StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
                             ExecStats* stats, const ParallelContext* parallel,
                             obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   ExprPtr bound = predicate.Clone();
   RETURN_IF_ERROR(bound->Bind(input.rel.schema()));
   PRelation out;
@@ -157,6 +160,7 @@ StatusOr<PRelation> PSelect(const Expr& predicate, const PRelation& input,
     const std::vector<Tuple>& rows = input.rel.rows();
     std::vector<std::vector<Tuple>> kept(plan.morsel_count());
     ParallelFor(plan, [&](size_t, const Morsel& m) {
+      GovernorCheckpoint(parallel);
       std::vector<Tuple>& local = kept[m.index];
       for (size_t i = m.begin; i < m.end; ++i) {
         if (IsTruthy(bound->Eval(rows[i]))) local.push_back(rows[i]);
@@ -227,6 +231,7 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
                           ExecStats* stats, const ParallelContext* parallel,
                           obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   Schema combined = left.rel.schema().Concat(right.rel.schema());
   ExprPtr bound = predicate.Clone();
   RETURN_IF_ERROR(bound->Bind(combined));
@@ -306,6 +311,7 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
     } else {
       std::vector<MatchBuffer> buffers(plan.morsel_count());
       ParallelFor(plan, [&](size_t, const Morsel& m) {
+        GovernorCheckpoint(parallel);
         MatchBuffer& local = buffers[m.index];
         for (size_t i = m.begin; i < m.end; ++i) {
           const Tuple& lrow = lrows[i];
@@ -324,8 +330,13 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
   } else {
     const std::vector<Tuple>& rrows = right.rel.rows();
     if (plan.serial()) {
+      // The quadratic serial path: the ticker bounds cancellation latency
+      // by probe count even when one covering morsel holds every row.
+      GovernorTicker ticker(parallel == nullptr ? nullptr
+                                                : parallel->governor);
       for (const Tuple& lrow : lrows) {
         for (const Tuple& rrow : rrows) {
+          ticker.Tick();
           Tuple joined = ConcatTuples(lrow, rrow);
           if (IsTruthy(bound->Eval(joined))) {
             emit(lrow, rrow, std::move(joined));
@@ -335,6 +346,7 @@ StatusOr<PRelation> PJoin(const Expr& predicate, const PRelation& left,
     } else {
       std::vector<MatchBuffer> buffers(plan.morsel_count());
       ParallelFor(plan, [&](size_t, const Morsel& m) {
+        GovernorCheckpoint(parallel);
         MatchBuffer& local = buffers[m.index];
         for (size_t i = m.begin; i < m.end; ++i) {
           const Tuple& lrow = lrows[i];
@@ -360,6 +372,7 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
                               const ParallelContext* parallel,
                               obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   Schema combined = left.rel.schema().Concat(right.rel.schema());
   ExprPtr bound = predicate.Clone();
   RETURN_IF_ERROR(bound->Bind(combined));
@@ -406,6 +419,7 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
     } else {
       std::vector<uint8_t> qualified(lrows.size(), 0);
       ParallelFor(plan, [&](size_t, const Morsel& m) {
+        GovernorCheckpoint(parallel);
         for (size_t i = m.begin; i < m.end; ++i) {
           qualified[i] = matches(lrows[i]) ? 1 : 0;
         }
@@ -428,6 +442,7 @@ StatusOr<PRelation> PSemiJoin(const Expr& predicate, const PRelation& left,
     } else {
       std::vector<uint8_t> qualified(lrows.size(), 0);
       ParallelFor(plan, [&](size_t, const Morsel& m) {
+        GovernorCheckpoint(parallel);
         for (size_t i = m.begin; i < m.end; ++i) {
           qualified[i] = matches(lrows[i]) ? 1 : 0;
         }
@@ -446,6 +461,7 @@ StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
                            const AggregateFunction& agg, ExecStats* stats,
                            const ParallelContext* parallel, obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
   out.rel = Relation(left.rel.schema());
@@ -461,7 +477,9 @@ StatusOr<PRelation> PUnion(const PRelation& left, const PRelation& right,
   const std::vector<Tuple>& lrows = left.rel.rows();
   MorselPlan plan = PlanFor(lrows.size(), parallel);
   std::vector<uint8_t> in_right;
-  if (!plan.serial()) in_right = ParallelMembership(lrows, right_set, plan);
+  if (!plan.serial()) {
+    in_right = ParallelMembership(lrows, right_set, plan, parallel);
+  }
 
   std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
   for (size_t i = 0; i < lrows.size(); ++i) {
@@ -499,6 +517,7 @@ StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
                                const ParallelContext* parallel,
                                obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
   out.rel = Relation(left.rel.schema());
@@ -509,7 +528,9 @@ StatusOr<PRelation> PIntersect(const PRelation& left, const PRelation& right,
   const std::vector<Tuple>& lrows = left.rel.rows();
   MorselPlan plan = PlanFor(lrows.size(), parallel);
   std::vector<uint8_t> in_right;
-  if (!plan.serial()) in_right = ParallelMembership(lrows, right_set, plan);
+  if (!plan.serial()) {
+    in_right = ParallelMembership(lrows, right_set, plan, parallel);
+  }
 
   std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
   for (size_t i = 0; i < lrows.size(); ++i) {
@@ -535,6 +556,7 @@ StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
                           ExecStats* stats, const ParallelContext* parallel,
                           obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   RETURN_IF_ERROR(CheckSetCompatible(left, right));
   PRelation out;
   out.rel = Relation(left.rel.schema());
@@ -544,7 +566,9 @@ StatusOr<PRelation> PDiff(const PRelation& left, const PRelation& right,
   const std::vector<Tuple>& lrows = left.rel.rows();
   MorselPlan plan = PlanFor(lrows.size(), parallel);
   std::vector<uint8_t> in_right;
-  if (!plan.serial()) in_right = ParallelMembership(lrows, right_set, plan);
+  if (!plan.serial()) {
+    in_right = ParallelMembership(lrows, right_set, plan, parallel);
+  }
 
   std::unordered_set<Tuple, TupleHash, TupleEq> emitted;
   for (size_t i = 0; i < lrows.size(); ++i) {
@@ -636,6 +660,7 @@ StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
                                const ParallelContext* parallel,
                                obs::Span* span) {
   ++stats->operator_invocations;
+  RETURN_IF_ERROR(GovernorCheck(parallel));
   ExprPtr condition = pref.CloneCondition();
   RETURN_IF_ERROR(condition->Bind(input.rel.schema()));
   ScoringFunction scoring = pref.CloneScoring();
@@ -669,7 +694,11 @@ StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
   out.scores = input.scores;
   MorselPlan plan = PlanFor(out.rel.NumRows(), parallel);
   if (plan.serial()) {
+    // threads=1 runs one covering morsel, so per-morsel checkpoints never
+    // fire mid-loop; the ticker bounds cancellation latency by rows instead.
+    GovernorTicker ticker(parallel == nullptr ? nullptr : parallel->governor);
     for (const Tuple& row : out.rel.rows()) {
+      ticker.Tick();
       if (local_col >= 0 &&
           member_keys.count(row[static_cast<size_t>(local_col)]) == 0) {
         continue;  // Membership not satisfied: tuple unaffected.
@@ -695,6 +724,7 @@ StatusOr<PRelation> EvalPrefer(const Preference& pref, const PRelation& input,
     std::vector<ScoreRelation> partials(plan.morsel_count());
     std::vector<size_t> contributions(plan.morsel_count(), 0);
     ParallelFor(plan, [&](size_t, const Morsel& m) {
+      GovernorCheckpoint(parallel);
       ScoreRelation& local = partials[m.index];
       for (size_t i = m.begin; i < m.end; ++i) {
         const Tuple& row = rows[i];

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "parallel/thread_pool.h"
@@ -37,6 +38,9 @@ MorselPlan MorselPlan::Make(size_t n, const ParallelContext* ctx) {
 
 void ParallelFor(const MorselPlan& plan,
                  const std::function<void(size_t, const Morsel&)>& fn) {
+  // Fault point for the dispatch itself (serial and parallel alike): a
+  // region that never runs its first morsel must still unwind cleanly.
+  FaultInjection::Global().HitOrThrow("parallel.for");
   if (plan.serial()) {
     for (size_t i = 0; i < plan.morsel_count(); ++i) fn(0, plan.morsel(i));
     return;
@@ -79,6 +83,8 @@ void ParallelForTraced(
   // slots touch disjoint elements of a pre-sized vector.
   std::vector<obs::SpanPtr> morsel_spans(plan.morsel_count());
   ParallelFor(plan, [&fn, &morsel_spans](size_t slot, const Morsel& morsel) {
+    // The wrapped `fn` is the governed body; its construction site carries
+    // the cancellation checkpoint. lint:allow(governor-checkpoint)
     obs::SpanPtr span =
         obs::Span::Detached(StrFormat("morsel[%zu]", morsel.index));
     span->rows_in = morsel.size();

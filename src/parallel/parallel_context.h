@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <string>
 
+#include "common/governor.h"
+
 namespace prefdb {
 
 /// Intra-query parallelism knobs, plumbed from the session's QueryOptions
@@ -30,6 +32,13 @@ struct ParallelContext {
   /// parallel win.
   size_t min_parallel_rows = 2048;
 
+  /// Cooperative query governor consulted at cancellation checkpoints
+  /// (morsel-loop bodies, operator entry, materialization sites). Null —
+  /// the default — means ungoverned: each checkpoint is one pointer test.
+  /// Session::Run points this at a stack-local governor for the duration
+  /// of one query; the object outlives every task observing the context.
+  const QueryGovernor* governor = nullptr;
+
   /// `threads` with 0 resolved to the hardware concurrency (at least 1).
   size_t ResolvedThreads() const;
 
@@ -45,6 +54,18 @@ struct ParallelContext {
 
   std::string ToString() const;
 };
+
+/// Checkpoint through an optional context — operators receive their
+/// ParallelContext as a possibly-null pointer, so this overload folds the
+/// double null test into one call.
+inline void GovernorCheckpoint(const ParallelContext* ctx) {
+  if (ctx != nullptr) GovernorCheckpoint(ctx->governor);
+}
+
+/// Status-returning variant for operator-entry checks.
+inline Status GovernorCheck(const ParallelContext* ctx) {
+  return ctx == nullptr ? Status::OK() : GovernorCheck(ctx->governor);
+}
 
 }  // namespace prefdb
 

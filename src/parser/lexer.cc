@@ -25,6 +25,7 @@ constexpr std::string_view kKeywords[] = {
     "ORDER",  "LIMIT",  "ASC",       "DESC",  "TRUE",     "FALSE",   "NULL",
     "DISTINCT", "EXPLAIN", "ANALYZE", "SET", "CACHE", "OFF", "CLEAR",
     "SLOWLOG", "FORMAT", "CHROME", "TEXT",
+    "STATEMENT_TIMEOUT", "MEMORY", "FAULT", "AFTER",
 };
 
 bool IsKeyword(const std::string& upper) {

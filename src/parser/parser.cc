@@ -40,6 +40,70 @@ class Parser {
         }
         return query;
       }
+      // SET STATEMENT_TIMEOUT <ms> | OFF: session statement deadline.
+      if (PeekKeyword("STATEMENT_TIMEOUT")) {
+        Advance();
+        query.timeout_pragma.present = true;
+        if (PeekKeyword("OFF")) {
+          Advance();
+          query.timeout_pragma.timeout_ms = -1.0;
+        } else {
+          ASSIGN_OR_RETURN(int64_t ms,
+                           ExpectInteger("statement timeout (milliseconds)"));
+          if (ms < 0) return Error("statement timeout must be >= 0");
+          query.timeout_pragma.timeout_ms = static_cast<double>(ms);
+        }
+        if (Peek().kind != TokenKind::kEnd) {
+          return Error("unexpected trailing input '" + Peek().text + "'");
+        }
+        return query;
+      }
+      // SET MEMORY LIMIT <bytes> | OFF: session memory budget.
+      if (PeekKeyword("MEMORY")) {
+        Advance();
+        RETURN_IF_ERROR(ExpectKeyword("LIMIT"));
+        query.memory_pragma.present = true;
+        if (PeekKeyword("OFF")) {
+          Advance();
+          query.memory_pragma.limit_bytes = 0;
+        } else {
+          ASSIGN_OR_RETURN(int64_t bytes, ExpectInteger("memory byte budget"));
+          if (bytes < 0) return Error("memory byte budget must be >= 0");
+          query.memory_pragma.limit_bytes = static_cast<size_t>(bytes);
+        }
+        if (Peek().kind != TokenKind::kEnd) {
+          return Error("unexpected trailing input '" + Peek().text + "'");
+        }
+        return query;
+      }
+      // SET FAULT '<point>' [AFTER <n>] | OFF: deterministic fault
+      // injection (the point name is a string literal — fault points are
+      // dotted names like 'engine.execute', not identifiers).
+      if (PeekKeyword("FAULT")) {
+        Advance();
+        query.fault_pragma.present = true;
+        if (PeekKeyword("OFF")) {
+          Advance();
+        } else {
+          if (Peek().kind != TokenKind::kString) {
+            return Error("expected a quoted fault point after SET FAULT");
+          }
+          query.fault_pragma.point = Advance().text;
+          if (query.fault_pragma.point.empty()) {
+            return Error("fault point name must not be empty");
+          }
+          if (PeekKeyword("AFTER")) {
+            Advance();
+            ASSIGN_OR_RETURN(int64_t skip, ExpectInteger("fault skip count"));
+            if (skip < 0) return Error("fault skip count must be >= 0");
+            query.fault_pragma.skip = static_cast<uint64_t>(skip);
+          }
+        }
+        if (Peek().kind != TokenKind::kEnd) {
+          return Error("unexpected trailing input '" + Peek().text + "'");
+        }
+        return query;
+      }
       RETURN_IF_ERROR(ExpectKeyword("CACHE"));
       if (PeekKeyword("ON")) {
         Advance();

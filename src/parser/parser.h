@@ -43,6 +43,38 @@ struct SlowlogPragma {
   double threshold_ms = -1.0;
 };
 
+/// `SET STATEMENT_TIMEOUT <ms>` / `SET STATEMENT_TIMEOUT OFF` — session
+/// statement deadline: every subsequent query on the session is governed
+/// by a wall-clock deadline of `timeout_ms` (cooperatively checked at the
+/// governor checkpoints). Carries no plan.
+struct TimeoutPragma {
+  bool present = false;
+  /// Timeout in milliseconds; negative = OFF.
+  double timeout_ms = -1.0;
+};
+
+/// `SET MEMORY LIMIT <bytes>` / `SET MEMORY LIMIT OFF` — session memory
+/// budget: cumulative bytes materialized by one query may not exceed the
+/// limit (cooperative accounting at materialization sites). Carries no
+/// plan.
+struct MemoryPragma {
+  bool present = false;
+  /// Byte budget; 0 = OFF (unlimited).
+  size_t limit_bytes = 0;
+};
+
+/// `SET FAULT '<point>' [AFTER <n>]` / `SET FAULT OFF` — deterministic
+/// fault injection: arms the process-wide FaultInjection registry so the
+/// named fault point fails (once) after being skipped `n` times. Test and
+/// chaos-harness tooling only. Carries no plan.
+struct FaultPragma {
+  bool present = false;
+  /// Fault point name, e.g. "engine.execute"; empty = OFF (disarm).
+  std::string point;
+  /// Number of hits to skip before firing (`AFTER <n>`).
+  uint64_t skip = 0;
+};
+
 /// Rendering of `EXPLAIN ANALYZE` output (QueryResult::explain_analyze):
 /// the default indented span-tree text, or — with a trailing
 /// `FORMAT CHROME` clause — a Chrome trace-event JSON document
@@ -69,6 +101,12 @@ struct ParsedQuery {
   CachePragma cache_pragma;
   /// Present when the statement is a `SET SLOWLOG` pragma; `plan` is null.
   SlowlogPragma slowlog_pragma;
+  /// Present when the statement is a `SET STATEMENT_TIMEOUT` pragma.
+  TimeoutPragma timeout_pragma;
+  /// Present when the statement is a `SET MEMORY LIMIT` pragma.
+  MemoryPragma memory_pragma;
+  /// Present when the statement is a `SET FAULT` pragma.
+  FaultPragma fault_pragma;
   /// FNV-1a hash of the original PrefSQL text (what the query log records
   /// instead of the statement itself); 0 for hand-built ParsedQuery values.
   uint64_t text_hash = 0;

@@ -10,6 +10,7 @@
 
 #include "cache/fingerprint.h"
 #include "cache/query_cache.h"
+#include "common/fault_injection.h"
 #include "exec/runner.h"
 #include "expr/expr_builder.h"
 #include "gtest/gtest.h"
@@ -376,6 +377,48 @@ TEST(CacheEquivalenceTest, WarmRepeatBitIdenticalForEveryStrategy) {
     EXPECT_EQ(warm_stats.insertions, cold_stats.insertions)
         << StrategyKindName(kind) << ": warm run should insert nothing new";
   }
+}
+
+// A query that trips the governor — or hits an injected fault on the very
+// insert path — must never populate a shard: later warm runs may not reuse
+// a result whose execution did not complete cleanly.
+TEST(CacheEquivalenceTest, FailedQueriesAreNeverAdmitted) {
+  Session session(MakeMovieCatalog());
+  ASSERT_TRUE(session.Query("SET CACHE ON").ok());
+
+  // Fault on the admission step itself: the delegated result exists but the
+  // query fails before Insert(), so nothing may be cached.
+  FaultInjection::Global().Arm("cache.insert");
+  QueryCache::Stats before = session.engine().cache()->snapshot();
+  auto faulted = session.Query(kPreferringQuery);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(session.engine().cache()->snapshot().insertions,
+            before.insertions);
+  FaultInjection::Global().Disarm();
+
+  // Governor trip mid-query (1-byte budget): partial results are likewise
+  // never admitted.
+  QueryOptions capped;
+  capped.memory_limit_bytes = 1;
+  before = session.engine().cache()->snapshot();
+  auto tripped = session.Query(kPreferringQuery, capped);
+  ASSERT_FALSE(tripped.ok());
+  EXPECT_EQ(tripped.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(session.engine().cache()->snapshot().insertions,
+            before.insertions);
+
+  // The cold slot is still genuinely cold: the next clean run recomputes
+  // (a miss, new insertions) and matches a never-faulted session exactly.
+  before = session.engine().cache()->snapshot();
+  auto clean = session.Query(kPreferringQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  QueryCache::Stats after = session.engine().cache()->snapshot();
+  EXPECT_GT(after.insertions, before.insertions);
+  Session fresh(MakeMovieCatalog());
+  auto baseline = fresh.Query(kPreferringQuery);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(clean->relation.rows(), baseline->relation.rows());
 }
 
 // Prefer-under-set-operation: only BU and GBU evaluate these; GBU's region

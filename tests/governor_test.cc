@@ -1,0 +1,469 @@
+// Query governor end-to-end: deadlines, memory budgets, external
+// cancellation and injected faults must unwind every strategy at any
+// thread count without leaking temp tables, poisoning the cache, or
+// changing untripped results.
+
+#include "common/governor.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "exec/runner.h"
+#include "gtest/gtest.h"
+#include "obs/metric_names.h"
+#include "test_util.h"
+
+namespace prefdb {
+namespace {
+
+using testing_util::MakeMovieCatalog;
+
+// A PrefSQL query every strategy (FtP, BU, GBU, both plug-ins) accepts.
+constexpr const char* kSimpleQuery =
+    "SELECT title FROM MOVIES "
+    "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 1 RANKED";
+
+// Forces a GBU operator region (the set operation sits above two prefer
+// subtrees), so evaluation registers temporary tables.
+constexpr const char* kRegionQuery =
+    "SELECT title FROM MOVIES "
+    "PREFERRING (year >= 2005) SCORE recency(year, 2011) CONF 1 "
+    "UNION "
+    "SELECT title FROM MOVIES "
+    "PREFERRING (duration <= 120) SCORE around(duration, 120) CONF 0.5 "
+    "RANKED";
+
+const StrategyKind kAllStrategies[] = {
+    StrategyKind::kFtP, StrategyKind::kBU, StrategyKind::kGBU,
+    StrategyKind::kPlugInBasic, StrategyKind::kPlugInCombined};
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+class GovernorTest : public ::testing::Test {
+ protected:
+  GovernorTest() : session_(MakeMovieCatalog()) {
+    baseline_tables_ = session_.engine().catalog().TableNames();
+  }
+
+  ~GovernorTest() override { FaultInjection::Global().Disarm(); }
+
+  // The catalog must hold exactly the base tables — a failed GBU region
+  // must have dropped every __gbu_tmp_* it registered.
+  void ExpectCatalogClean() {
+    EXPECT_EQ(session_.engine().catalog().TableNames(), baseline_tables_);
+  }
+
+  // After any trip the session must still answer queries normally.
+  void ExpectSessionUsable() {
+    auto ok = session_.Query(kSimpleQuery);
+    ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+    EXPECT_GT(ok->relation.NumRows(), 0u);
+  }
+
+  Session session_;
+  std::vector<std::string> baseline_tables_;
+};
+
+TEST(QueryGovernorUnit, UnarmedGovernorAlwaysPasses) {
+  QueryGovernor governor;
+  EXPECT_TRUE(governor.Check().ok());
+  EXPECT_TRUE(governor.ChargeBytes(1 << 30).ok());
+  EXPECT_FALSE(governor.tripped());
+  EXPECT_FALSE(governor.memory_armed());
+  EXPECT_TRUE(governor.trip_status().ok());
+}
+
+TEST(QueryGovernorUnit, ZeroDeadlineTripsAtFirstCheck) {
+  QueryGovernor governor;
+  governor.ArmDeadline(0.0);
+  Status st = governor.Check();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(governor.tripped());
+  // Sticky: every later check reports the same trip.
+  EXPECT_EQ(governor.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryGovernorUnit, MemoryBudgetTripsOnOverflow) {
+  QueryGovernor governor;
+  governor.ArmMemoryLimit(100);
+  EXPECT_TRUE(governor.memory_armed());
+  EXPECT_TRUE(governor.ChargeBytes(60).ok());
+  Status st = governor.ChargeBytes(60);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(governor.trip_status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(governor.charged_bytes(), 120u);
+}
+
+TEST(QueryGovernorUnit, FirstTripWins) {
+  QueryGovernor governor;
+  governor.ArmMemoryLimit(1);
+  EXPECT_EQ(governor.ChargeBytes(2).code(), StatusCode::kResourceExhausted);
+  // A cancellation arriving after the trip must not re-label it.
+  governor.Cancel();
+  EXPECT_EQ(governor.Check().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryGovernorUnit, ExternalTokenCancelsFromAnotherThread) {
+  CancellationToken token;
+  QueryGovernor governor;
+  governor.AttachToken(&token);
+  EXPECT_TRUE(governor.Check().ok());
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_EQ(governor.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryGovernorUnit, CheckpointThrowsOnlyWhenTripped) {
+  QueryGovernor governor;
+  EXPECT_NO_THROW(GovernorCheckpoint(&governor));
+  EXPECT_NO_THROW(GovernorCheckpoint(static_cast<const QueryGovernor*>(nullptr)));
+  governor.Cancel();
+  try {
+    GovernorCheckpoint(&governor);
+    FAIL() << "checkpoint did not throw on a cancelled governor";
+  } catch (const QueryAbortedException& aborted) {
+    EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(QueryGovernorUnit, TickerChecksEveryPeriod) {
+  QueryGovernor governor;
+  governor.Cancel();
+  GovernorTicker ticker(&governor, /*period=*/4);
+  int survived = 0;
+  try {
+    for (int i = 0; i < 16; ++i) {
+      ticker.Tick();
+      ++survived;
+    }
+    FAIL() << "ticker never checked in";
+  } catch (const QueryAbortedException&) {
+    EXPECT_EQ(survived, 3);  // Trips on the 4th tick.
+  }
+}
+
+// --- End-to-end: every strategy, threads 1 and 8, all three trip kinds ---
+
+TEST_F(GovernorTest, ZeroDeadlineUnwindsEveryStrategy) {
+  for (StrategyKind strategy : kAllStrategies) {
+    for (size_t threads : kThreadCounts) {
+      QueryOptions options;
+      options.strategy = strategy;
+      options.parallel.threads = threads;
+      options.timeout_ms = 0.0;
+      auto result = session_.Query(kSimpleQuery, options);
+      ASSERT_FALSE(result.ok())
+          << "strategy=" << StrategyKindName(strategy) << " threads=" << threads;
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << result.status().ToString();
+      ASSERT_TRUE(session_.last_failure().has_value());
+      EXPECT_EQ(session_.last_failure()->code, StatusCode::kDeadlineExceeded);
+      ExpectCatalogClean();
+    }
+  }
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, OneByteMemoryBudgetUnwindsEveryStrategy) {
+  for (StrategyKind strategy : kAllStrategies) {
+    for (size_t threads : kThreadCounts) {
+      QueryOptions options;
+      options.strategy = strategy;
+      options.parallel.threads = threads;
+      options.memory_limit_bytes = 1;
+      auto result = session_.Query(kSimpleQuery, options);
+      ASSERT_FALSE(result.ok())
+          << "strategy=" << StrategyKindName(strategy) << " threads=" << threads;
+      EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+          << result.status().ToString();
+      ASSERT_TRUE(session_.last_failure().has_value());
+      EXPECT_EQ(session_.last_failure()->code, StatusCode::kResourceExhausted);
+      ExpectCatalogClean();
+    }
+  }
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, InjectedFaultUnwindsEveryStrategy) {
+  for (StrategyKind strategy : kAllStrategies) {
+    for (size_t threads : kThreadCounts) {
+      FaultInjection::Global().Arm("engine.execute");
+      QueryOptions options;
+      options.strategy = strategy;
+      options.parallel.threads = threads;
+      auto result = session_.Query(kSimpleQuery, options);
+      ASSERT_FALSE(result.ok())
+          << "strategy=" << StrategyKindName(strategy) << " threads=" << threads;
+      EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+      EXPECT_NE(result.status().message().find("injected fault"),
+                std::string::npos);
+      // One-shot: the fault disarmed itself, so the session recovers.
+      EXPECT_FALSE(FaultInjection::Global().armed());
+      ExpectCatalogClean();
+      ExpectSessionUsable();
+    }
+  }
+}
+
+TEST_F(GovernorTest, PreCancelledTokenTripsBeforeAnyWork) {
+  CancellationToken token;
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  for (size_t threads : kThreadCounts) {
+    QueryOptions options;
+    options.parallel.threads = threads;
+    options.cancel_token = &token;
+    auto result = session_.Query(kSimpleQuery, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+    ASSERT_TRUE(session_.last_failure().has_value());
+    EXPECT_EQ(session_.last_failure()->code, StatusCode::kCancelled);
+    ExpectCatalogClean();
+  }
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, ConcurrentCancelLeavesSessionConsistent) {
+  // Races an external Cancel() against normal completion: either outcome
+  // is legal, but a cancelled run must report kCancelled and neither
+  // outcome may corrupt session state.
+  for (size_t threads : kThreadCounts) {
+    CancellationToken token;
+    QueryOptions options;
+    options.parallel.threads = threads;
+    options.cancel_token = &token;
+    std::atomic<bool> done{false};
+    std::thread canceller([&token, &done] {
+      while (!done.load(std::memory_order_acquire)) {
+        token.Cancel();
+      }
+    });
+    auto result = session_.Query(kRegionQuery, options);
+    done.store(true, std::memory_order_release);
+    canceller.join();
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << result.status().ToString();
+    }
+    ExpectCatalogClean();
+  }
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, GbuRegionFaultDropsRegisteredTemps) {
+  // The region has two prefer subtrees; firing on the second registration
+  // unwinds after the first temp already entered the catalog — the guard
+  // must drop it.
+  FaultInjection::Global().Arm("gbu.register_temp", /*skip=*/1);
+  QueryOptions options;
+  options.strategy = StrategyKind::kGBU;
+  auto result = session_.Query(kRegionQuery, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  ExpectCatalogClean();
+  // Re-running the same query now succeeds (one-shot fault, no residue).
+  auto retry = session_.Query(kRegionQuery, options);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+}
+
+TEST_F(GovernorTest, GbuRegionDeadlineAtEveryThreadCountLeavesNoTemps) {
+  for (size_t threads : kThreadCounts) {
+    QueryOptions options;
+    options.strategy = StrategyKind::kGBU;
+    options.parallel.threads = threads;
+    options.timeout_ms = 0.0;
+    auto result = session_.Query(kRegionQuery, options);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    ExpectCatalogClean();
+  }
+  ExpectSessionUsable();
+}
+
+// --- Untripped governor: bit-identical results, clean cache interplay ---
+
+TEST_F(GovernorTest, UntrippedGovernorIsInvisible) {
+  for (StrategyKind strategy : kAllStrategies) {
+    QueryOptions plain;
+    plain.strategy = strategy;
+    auto baseline = session_.Query(kSimpleQuery, plain);
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+
+    QueryOptions governed = plain;
+    governed.timeout_ms = 60000.0;
+    governed.memory_limit_bytes = size_t{1} << 30;
+    CancellationToken token;  // Never cancelled.
+    governed.cancel_token = &token;
+    auto result = session_.Query(kSimpleQuery, governed);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    ASSERT_EQ(result->relation.NumRows(), baseline->relation.NumRows());
+    for (size_t r = 0; r < result->relation.NumRows(); ++r) {
+      EXPECT_EQ(result->relation.rows()[r], baseline->relation.rows()[r])
+          << "strategy=" << StrategyKindName(strategy) << " row=" << r;
+    }
+    EXPECT_EQ(result->stats.engine_queries, baseline->stats.engine_queries);
+    EXPECT_EQ(result->stats.tuples_materialized,
+              baseline->stats.tuples_materialized);
+  }
+}
+
+TEST_F(GovernorTest, TrippedQueryNeverPoisonsTheCache) {
+  ASSERT_TRUE(session_.Query("SET CACHE ON").ok());
+  // Cold run under a 1-byte budget fails and must not admit its partial
+  // result; the follow-up uncapped run must be a miss that computes the
+  // real answer.
+  QueryOptions capped;
+  capped.memory_limit_bytes = 1;
+  auto tripped = session_.Query(kSimpleQuery, capped);
+  ASSERT_FALSE(tripped.ok());
+  auto clean = session_.Query(kSimpleQuery);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+  EXPECT_GT(clean->relation.NumRows(), 0u);
+  ASSERT_TRUE(session_.Query("SET CACHE OFF").ok());
+}
+
+// --- Pragmas, telemetry, query log ---
+
+TEST_F(GovernorTest, StatementTimeoutPragmaGovernsSubsequentQueries) {
+  auto set = session_.Query("SET STATEMENT_TIMEOUT 0");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->executed_plan, "SET STATEMENT_TIMEOUT 0");
+  auto result = session_.Query(kSimpleQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  auto off = session_.Query("SET STATEMENT_TIMEOUT OFF");
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(off->executed_plan, "SET STATEMENT_TIMEOUT OFF");
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, MemoryLimitPragmaGovernsSubsequentQueries) {
+  auto set = session_.Query("SET MEMORY LIMIT 1");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set->executed_plan, "SET MEMORY LIMIT 1");
+  auto result = session_.Query(kSimpleQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  auto off = session_.Query("SET MEMORY LIMIT OFF");
+  ASSERT_TRUE(off.ok());
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, PerQueryOptionsOverrideSessionDefaults) {
+  ASSERT_TRUE(session_.Query("SET STATEMENT_TIMEOUT 0").ok());
+  QueryOptions generous;
+  generous.timeout_ms = 60000.0;
+  auto result = session_.Query(kSimpleQuery, generous);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(session_.Query("SET STATEMENT_TIMEOUT OFF").ok());
+}
+
+TEST_F(GovernorTest, FaultPragmaArmsAndDisarms) {
+  auto set = session_.Query("SET FAULT 'engine.execute'");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_TRUE(FaultInjection::Global().armed());
+  EXPECT_EQ(FaultInjection::Global().armed_point(), "engine.execute");
+  auto result = session_.Query(kSimpleQuery);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("injected fault at "
+                                           "'engine.execute'"),
+            std::string::npos);
+  auto off = session_.Query("SET FAULT OFF");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(FaultInjection::Global().armed());
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, FaultPragmaAfterSkipsHits) {
+  // AFTER counts *hits*, and one user query delegates several engine
+  // queries — probe how many, arm a skip for exactly that budget, and the
+  // query survives; the next hit (first of the following query) fires.
+  auto probe = session_.Query(kSimpleQuery);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  const size_t hits_per_query = probe->stats.engine_queries;
+  ASSERT_GT(hits_per_query, 0u);
+  ASSERT_TRUE(session_
+                  .Query("SET FAULT 'engine.execute' AFTER " +
+                         std::to_string(hits_per_query))
+                  .ok());
+  auto first = session_.Query(kSimpleQuery);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(FaultInjection::Global().armed());  // Budget spent, not fired.
+  auto second = session_.Query(kSimpleQuery);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kInternal);
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, GovernorPragmasRejectMalformedInput) {
+  EXPECT_FALSE(session_.Query("SET STATEMENT_TIMEOUT").ok());
+  EXPECT_FALSE(session_.Query("SET STATEMENT_TIMEOUT -5").ok());
+  EXPECT_FALSE(session_.Query("SET STATEMENT_TIMEOUT 5 trailing").ok());
+  EXPECT_FALSE(session_.Query("SET MEMORY").ok());
+  EXPECT_FALSE(session_.Query("SET MEMORY LIMIT").ok());
+  EXPECT_FALSE(session_.Query("SET MEMORY LIMIT 'abc'").ok());
+  // Malformed pragmas arm nothing: the session still runs ungoverned.
+  ExpectSessionUsable();
+}
+
+TEST_F(GovernorTest, TripsLandInMetricsAndQueryLog) {
+  obs::MetricsRegistry& metrics = session_.engine().metrics();
+  const uint64_t deadline_before =
+      metrics.counter(obs::kPrefGovernorDeadlineExceeded)->value();
+  const uint64_t memory_before =
+      metrics.counter(obs::kPrefGovernorResourceExhausted)->value();
+  const uint64_t cancelled_before =
+      metrics.counter(obs::kPrefGovernorCancelled)->value();
+  const uint64_t faults_before =
+      metrics.counter(obs::kPrefGovernorFaultsInjected)->value();
+
+  QueryOptions deadline;
+  deadline.timeout_ms = 0.0;
+  ASSERT_FALSE(session_.Query(kSimpleQuery, deadline).ok());
+
+  QueryOptions memory;
+  memory.memory_limit_bytes = 1;
+  ASSERT_FALSE(session_.Query(kSimpleQuery, memory).ok());
+
+  CancellationToken token;
+  token.Cancel();
+  QueryOptions cancelled;
+  cancelled.cancel_token = &token;
+  ASSERT_FALSE(session_.Query(kSimpleQuery, cancelled).ok());
+
+  FaultInjection::Global().Arm("engine.execute");
+  ASSERT_FALSE(session_.Query(kSimpleQuery).ok());
+
+  EXPECT_EQ(metrics.counter(obs::kPrefGovernorDeadlineExceeded)->value(),
+            deadline_before + 1);
+  EXPECT_EQ(metrics.counter(obs::kPrefGovernorResourceExhausted)->value(),
+            memory_before + 1);
+  EXPECT_EQ(metrics.counter(obs::kPrefGovernorCancelled)->value(),
+            cancelled_before + 1);
+  EXPECT_EQ(metrics.counter(obs::kPrefGovernorFaultsInjected)->value(),
+            faults_before + 1);
+
+  // The query log's most recent records carry the distinguishing codes.
+  std::vector<obs::QueryRecord> records =
+      session_.engine().query_log().Snapshot();
+  ASSERT_GE(records.size(), 4u);
+  const obs::QueryRecord& fault_rec = records[records.size() - 1];
+  const obs::QueryRecord& cancel_rec = records[records.size() - 2];
+  const obs::QueryRecord& memory_rec = records[records.size() - 3];
+  const obs::QueryRecord& deadline_rec = records[records.size() - 4];
+  EXPECT_TRUE(deadline_rec.failed);
+  EXPECT_EQ(deadline_rec.failure_code, "DeadlineExceeded");
+  EXPECT_EQ(memory_rec.failure_code, "ResourceExhausted");
+  EXPECT_EQ(cancel_rec.failure_code, "Cancelled");
+  EXPECT_EQ(fault_rec.failure_code, "Internal");
+  // And the /queries JSON body renders the code.
+  EXPECT_NE(session_.engine().query_log().ToJson().find(
+                "\"failure_code\": \"DeadlineExceeded\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace prefdb

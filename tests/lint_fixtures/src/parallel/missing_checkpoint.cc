@@ -1,0 +1,17 @@
+// Fixture: a morsel loop whose body never consults the governor. A query
+// governed by a deadline or cancellation token would run this entire
+// region to completion before noticing the trip — must trip
+// governor-checkpoint.
+#include "parallel/morsel.h"
+
+namespace prefdb {
+
+void SweepWithoutCheckpoint(const MorselPlan& plan, int* data) {
+  ParallelFor(plan, [&](size_t, const Morsel& m) {
+    for (size_t i = m.begin; i < m.end; ++i) {
+      data[i] += 1;
+    }
+  });
+}
+
+}  // namespace prefdb

@@ -26,12 +26,45 @@ TEST(StatusTest, AllFactories) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
   EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCancelled), "Cancelled");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDeadlineExceeded), "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+}
+
+TEST(StatusTest, GovernorCodesCarryMessagesAndToString) {
+  Status cancelled = Status::Cancelled("query cancelled");
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: query cancelled");
+  Status deadline = Status::DeadlineExceeded("timeout of 5 ms exceeded");
+  EXPECT_EQ(deadline.ToString(),
+            "DeadlineExceeded: timeout of 5 ms exceeded");
+  Status memory = Status::ResourceExhausted("memory limit exceeded");
+  EXPECT_EQ(memory.ToString(), "ResourceExhausted: memory limit exceeded");
+}
+
+Status PassThrough(const Status& st) {
+  RETURN_IF_ERROR(st);
+  return Status::OK();
+}
+
+TEST(StatusTest, GovernorCodesFlowThroughReturnIfError) {
+  EXPECT_EQ(PassThrough(Status::Cancelled("c")).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(PassThrough(Status::DeadlineExceeded("d")).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(PassThrough(Status::ResourceExhausted("r")).code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/governor.h"
 #include "gtest/gtest.h"
 #include "parallel/morsel.h"
 
@@ -122,6 +123,42 @@ TEST(ThreadPoolTest, WaitRethrowsFirstExceptionOnly) {
   EXPECT_THROW(group.Wait(), std::runtime_error);
   // A second Wait() returns cleanly: the error was consumed.
   group.Wait();
+}
+
+// Governor cancellation racing normal completion: some tasks finish before
+// the trip, some hit a tripped checkpoint and unwind. Wait() must join
+// every sibling (no task still touching `completed` after it returns) and
+// rethrow the first captured QueryAbortedException with the trip's code.
+TEST(ThreadPoolTest, WaitJoinsAllSiblingsWhenCancellationRacesCompletion) {
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(8);
+    QueryGovernor governor;
+    std::atomic<int> completed{0};
+    std::atomic<int> started{0};
+    TaskGroup group(&pool);
+    for (int i = 0; i < 64; ++i) {
+      group.Run([&] {
+        // Exactly one task — the 32nd to start — trips the governor
+        // mid-batch; earlier finishers race past, later ones unwind.
+        if (started.fetch_add(1, std::memory_order_relaxed) + 1 == 32) {
+          governor.Cancel();
+        }
+        GovernorCheckpoint(&governor);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    bool threw = false;
+    try {
+      group.Wait();
+    } catch (const QueryAbortedException& aborted) {
+      threw = true;
+      EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+    }
+    ASSERT_TRUE(threw) << "round " << round;
+    // Every task either completed or unwound; none is still in flight.
+    EXPECT_EQ(started.load(), 64) << "round " << round;
+    EXPECT_LT(completed.load(), 64) << "round " << round;
+  }
 }
 
 // Stealing under skew: one task blocks a worker until every short task has
